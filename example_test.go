@@ -1,0 +1,63 @@
+package godtfe_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"godtfe"
+)
+
+// ExampleTriangulate builds a triangulation and reports its size.
+func ExampleTriangulate() {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]godtfe.Vec3, 200)
+	for i := range pts {
+		pts[i] = godtfe.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	tri, err := godtfe.Triangulate(pts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("points:", tri.NumPoints())
+	fmt.Println("finite tets > points:", tri.NumFiniteTets() > len(pts))
+	// Output:
+	// points: 200
+	// finite tets > points: true
+}
+
+// ExampleNewDensityField shows DTFE mass conservation: integrating the
+// reconstructed density returns the input mass exactly.
+func ExampleNewDensityField() {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]godtfe.Vec3, 500)
+	for i := range pts {
+		pts[i] = godtfe.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	tri, _ := godtfe.Triangulate(pts)
+	field, _ := godtfe.NewDensityField(tri, nil) // unit masses
+	fmt.Printf("total mass: %.1f\n", field.TotalMass())
+	// Output:
+	// total mass: 500.0
+}
+
+// ExampleSurfaceDensity renders a surface-density map and checks that the
+// projected mass approximates the input mass.
+func ExampleSurfaceDensity() {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]godtfe.Vec3, 800)
+	for i := range pts {
+		pts[i] = godtfe.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	tri, _ := godtfe.Triangulate(pts)
+	field, _ := godtfe.NewDensityField(tri, nil)
+	sigma, err := godtfe.SurfaceDensity(field, godtfe.GridSpec{
+		Min: godtfe.Vec2{X: -0.05, Y: -0.05}, Nx: 64, Ny: 64, Cell: 1.1 / 64,
+	})
+	if err != nil {
+		panic(err)
+	}
+	mass := sigma.Integral()
+	fmt.Println("projected mass within 10% of input:", mass > 720 && mass < 880)
+	// Output:
+	// projected mass within 10% of input: true
+}

@@ -1,0 +1,98 @@
+// Velocity-field scenario: the DTFE was originally proposed (Bernardeau &
+// van de Weygaert 1996) for volume-weighted velocity field statistics.
+// This example evolves a cold collapse with the Barnes-Hut tree code, then
+// uses the DTFE's generic interpolation mode (Field.SetValues) to
+// reconstruct the volume-weighted radial velocity field and measure the
+// infall profile — something mass-weighted averages systematically bias.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"math/rand"
+
+	"godtfe"
+	"godtfe/internal/nbody"
+)
+
+func main() {
+	// Cold spherical cloud with a slight rotation.
+	rng := rand.New(rand.NewSource(4))
+	var pos, vel []godtfe.Vec3
+	for len(pos) < 2500 {
+		p := godtfe.Vec3{X: rng.Float64()*2 - 1, Y: rng.Float64()*2 - 1, Z: rng.Float64()*2 - 1}
+		if p.Norm() <= 1 {
+			pos = append(pos, p)
+			vel = append(vel, godtfe.Vec3{X: -0.05 * p.Y, Y: 0.05 * p.X}) // mild spin
+		}
+	}
+	// Unit TOTAL mass: the free-fall time is then ~R^(3/2) ≈ 1, so the
+	// run below catches the cloud mid-infall rather than post-bounce.
+	masses := make([]float64, len(pos))
+	for i := range masses {
+		masses[i] = 1 / float64(len(pos))
+	}
+	sim, err := nbody.NewBHSim(pos, vel, masses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.Eps = 0.08
+	if err := sim.Run(40, 0.01); err != nil {
+		log.Fatal(err)
+	}
+	k, p := sim.Energy()
+	fmt.Printf("after collapse: kinetic %.1f, potential %.1f\n", k, p)
+
+	// DTFE interpolation of the radial velocity component.
+	tri, err := godtfe.Triangulate(sim.Pos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	field, err := godtfe.NewDensityField(tri, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vrad := make([]float64, len(sim.Pos))
+	for i, q := range sim.Pos {
+		r := q.Norm()
+		if r > 1e-9 {
+			vrad[i] = sim.Vel[i].Dot(q) / r
+		}
+	}
+	if err := field.SetValues(vrad); err != nil {
+		log.Fatal(err)
+	}
+
+	// Volume-weighted infall profile: sample the interpolated field on
+	// shells (uniform-in-volume sampling, which is what DTFE's
+	// volume-weighting is for).
+	fmt.Println("\n  radius   <v_r> (volume-weighted)")
+	for _, r := range []float64{0.1, 0.2, 0.3, 0.45, 0.6} {
+		var sum float64
+		var n int
+		for s := 0; s < 4000; s++ {
+			// Random direction, fixed radius.
+			var d godtfe.Vec3
+			for {
+				d = godtfe.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+				if d.Norm() > 1e-9 {
+					break
+				}
+			}
+			q := d.Scale(r / d.Norm())
+			if v, ok := field.At(q); ok {
+				sum += v
+				n++
+			}
+		}
+		if n > 0 {
+			fmt.Printf("  %6.2f   %+.4f\n", r, sum/float64(n))
+		}
+	}
+	mean := 0.0
+	for _, v := range vrad {
+		mean += v
+	}
+	fmt.Printf("\nmass-weighted mean v_r: %+.4f (infall: negative)\n", mean/float64(len(vrad)))
+}

@@ -1,0 +1,3 @@
+module godtfe
+
+go 1.22

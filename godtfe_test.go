@@ -1,0 +1,135 @@
+package godtfe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"godtfe/internal/synth"
+)
+
+func testPoints(n int, seed int64) []Vec3 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Vec3, n)
+	for i := range pts {
+		pts[i] = Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	return pts
+}
+
+func TestPublicQuickstartPath(t *testing.T) {
+	pts := testPoints(800, 1)
+	tri, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field, err := NewDensityField(tri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := GridSpec{Min: Vec2{X: 0.1, Y: 0.1}, Nx: 32, Ny: 32, Cell: 0.8 / 32}
+	g, err := SurfaceDensity(field, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Sum() <= 0 {
+		t.Fatal("surface density should be positive over the cloud")
+	}
+	// Projected mass over the full footprint approximates the total mass.
+	fullSpec := GridSpec{Min: Vec2{X: -0.05, Y: -0.05}, Nx: 64, Ny: 64, Cell: 1.1 / 64}
+	gf, err := SurfaceDensity(field, fullSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := gf.Integral(); math.Abs(m-field.TotalMass()) > 0.1*field.TotalMass() {
+		t.Fatalf("projected mass %v vs total %v", m, field.TotalMass())
+	}
+}
+
+func TestBaselineAgreesWithKernel(t *testing.T) {
+	pts := testPoints(500, 2)
+	tri, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field, err := NewDensityField(tri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := GridSpec{Min: Vec2{X: 0.25, Y: 0.25}, Nx: 10, Ny: 10, Cell: 0.05, Nz: 400}
+	a, _, err := SurfaceDensityStats(field, spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := SurfaceDensityBaseline(field, spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 0.08*(1+a.Data[i]) {
+			t.Fatalf("cell %d: marching %v vs walking %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestSurfaceDensityAlong(t *testing.T) {
+	pts := testPoints(600, 21)
+	spec := GridSpec{Min: Vec2{X: -0.05, Y: -0.05}, Nx: 48, Ny: 48, Cell: 1.1 / 48}
+
+	// Along +z it must match the plain path exactly (identity rotation).
+	gz, rot, err := SurfaceDensityAlong(Vec3{Z: 1}, pts, nil, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rot.Apply(Vec3{Z: 1}).Sub(Vec3{Z: 1}).Norm() > 1e-12 {
+		t.Fatal("z LOS should be identity rotation")
+	}
+	tri, _ := Triangulate(pts)
+	field, _ := NewDensityField(tri, nil)
+	plain, err := SurfaceDensity(field, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gz.Data {
+		if math.Abs(gz.Data[i]-plain.Data[i]) > 1e-9*(1+plain.Data[i]) {
+			t.Fatalf("z LOS differs from plain render at %d", i)
+		}
+	}
+
+	// Along +x: projected mass is conserved regardless of direction.
+	// (The rotated cloud occupies roughly the same footprint: the rotation
+	// maps the unit cube into [0,1]x[-1,0]-ish boxes; use a generous grid.)
+	wideSpec := GridSpec{Min: Vec2{X: -1.6, Y: -1.6}, Nx: 64, Ny: 64, Cell: 3.2 / 64}
+	gx, _, err := SurfaceDensityAlong(Vec3{X: 1}, pts, nil, wideSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := gx.Integral(); math.Abs(m-600) > 60 {
+		t.Fatalf("x-LOS projected mass %v, want ~600", m)
+	}
+	if _, _, err := SurfaceDensityAlong(Vec3{}, pts, nil, spec); err == nil {
+		t.Fatal("zero direction accepted")
+	}
+}
+
+func TestRunDistributedFacade(t *testing.T) {
+	box := Box{Min: Vec3{}, Max: Vec3{X: 1, Y: 1, Z: 1}}
+	pts := synth.HaloSet(4000, box, synth.DefaultHaloSpec(), 3)
+	centers := synth.Uniform(8, box, 4)
+	results, err := RunDistributed(4, PipelineConfig{
+		Box: box, FieldLen: 0.12, GridN: 8, LoadBalance: true, Seed: 5,
+	}, pts, centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := 0
+	for _, r := range results {
+		items += len(r.Items)
+	}
+	if items != len(centers) {
+		t.Fatalf("items = %d, want %d", items, len(centers))
+	}
+	if _, err := RunDistributed(0, PipelineConfig{}, nil, nil); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+}

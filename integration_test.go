@@ -1,0 +1,112 @@
+package godtfe
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"godtfe/internal/halo"
+	"godtfe/internal/lens"
+	"godtfe/internal/nbody"
+	"godtfe/internal/particleio"
+)
+
+// TestFullSystemIntegration drives the complete stack the way a user
+// would: evolve a PM simulation, persist the snapshot (with velocities),
+// read it back, find halos, reconstruct halo-centered surface-density
+// fields with the load-balanced distributed framework, and push the
+// biggest field through the lensing solver.
+func TestFullSystemIntegration(t *testing.T) {
+	// 1. Simulate.
+	sim, err := nbody.New(nbody.Config{
+		Mesh: 32, Particles: 20, Box: 1, Seed: 77, Amplitude: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(15, 0.08); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Persist and reload.
+	path := filepath.Join(t.TempDir(), "snap.dtfe")
+	n := len(sim.Pos)
+	idx := make([][]int32, 4)
+	for i := 0; i < n; i++ {
+		idx[i%4] = append(idx[i%4], int32(i))
+	}
+	if err := particleio.WriteWithVelocities(path, sim.Pos, sim.Vel, idx); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := particleio.ReadHeader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.NumParticles != int64(n) || !hdr.HasVel {
+		t.Fatalf("header = %+v", hdr)
+	}
+	pts, err := particleio.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Halo catalog -> field centers.
+	box := Box{Min: Vec3{}, Max: Vec3{X: 1, Y: 1, Z: 1}}
+	link := 0.2 * halo.MeanSeparation(pts)
+	halos := halo.FindPeriodic(pts, box, link, 10)
+	if len(halos) == 0 {
+		t.Fatal("no halos formed")
+	}
+	centers := halo.Centers(halos, 6)
+
+	// 4. Distributed reconstruction with work sharing and periodic ghosts.
+	results, err := RunDistributed(4, PipelineConfig{
+		Box: box, FieldLen: 0.2, GridN: 32,
+		LoadBalance: true, Periodic: true, KeepFields: true, Seed: 5,
+	}, pts, centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best *Grid2D
+	bestMass := 0.0
+	items := 0
+	for _, r := range results {
+		items += len(r.Items)
+		for _, f := range r.Fields {
+			if m := f.Grid.Integral(); m > bestMass {
+				bestMass = m
+				best = f.Grid
+			}
+		}
+	}
+	if items != len(centers) {
+		t.Fatalf("computed %d of %d fields", items, len(centers))
+	}
+	if best == nil || bestMass <= 0 {
+		t.Fatal("no massive field rendered")
+	}
+	// The densest field should hold a meaningful fraction of the halo's
+	// neighborhood mass.
+	if bestMass < float64(halos[0].N)/4 {
+		t.Fatalf("densest field mass %v vs top halo %d members", bestMass, halos[0].N)
+	}
+
+	// 5. Lensing on the densest field.
+	kappa, err := lens.Convergence(best, bestMass/4) // strong-lens regime
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane, err := lens.NewPlane(kappa, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, by := lens.ShootGrid([]lens.Plane{plane}, kappa)
+	mag := lens.Magnification(bx, by)
+	lo, hi := mag.MinMax()
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatal("magnification contains NaN")
+	}
+	if lo == hi {
+		t.Fatal("flat magnification map: lensing pipeline inert")
+	}
+}

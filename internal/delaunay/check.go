@@ -1,0 +1,125 @@
+package delaunay
+
+import (
+	"fmt"
+
+	"godtfe/internal/geom"
+)
+
+// Validate checks structural invariants of the triangulation: neighbor
+// symmetry, matching shared faces, positive orientation of finite tets, and
+// live vertex anchors. It is O(T) and intended for tests and debugging.
+func (t *Triangulation) Validate() error {
+	for i := range t.tets {
+		if t.dead[i] {
+			continue
+		}
+		ti := int32(i)
+		tt := &t.tets[i]
+		for f := 0; f < 4; f++ {
+			n := tt.N[f]
+			if n == NoTet {
+				return fmt.Errorf("tet %d face %d has no neighbor", i, f)
+			}
+			if t.dead[n] {
+				return fmt.Errorf("tet %d face %d points to dead tet %d", i, f, n)
+			}
+			// Reciprocity.
+			back := -1
+			for g := 0; g < 4; g++ {
+				if t.tets[n].N[g] == ti {
+					back = g
+					break
+				}
+			}
+			if back < 0 {
+				return fmt.Errorf("tet %d face %d: neighbor %d lacks back pointer", i, f, n)
+			}
+			// Shared face vertex sets must match.
+			if !faceSetsEqual(tt, f, &t.tets[n], back) {
+				return fmt.Errorf("tet %d face %d and tet %d face %d do not share vertices", i, f, n, back)
+			}
+		}
+		if tt.InfSlot() < 0 {
+			if geom.Orient3D(t.pts[tt.V[0]], t.pts[tt.V[1]], t.pts[tt.V[2]], t.pts[tt.V[3]]) <= 0 {
+				return fmt.Errorf("tet %d is not positively oriented", i)
+			}
+		}
+	}
+	for v := range t.vertTet {
+		if t.dupOf[v] != int32(v) {
+			continue
+		}
+		ti := t.vertTet[v]
+		if ti == NoTet {
+			continue // never inserted (possible only before Build completes)
+		}
+		if t.dead[ti] {
+			return fmt.Errorf("vertex %d anchored to dead tet %d", v, ti)
+		}
+		found := false
+		for _, u := range t.tets[ti].V {
+			if u == int32(v) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("vertex %d anchor tet %d does not contain it", v, ti)
+		}
+	}
+	return nil
+}
+
+func faceSetsEqual(a *Tet, fa int, b *Tet, fb int) bool {
+	fta, ftb := faceTable[fa], faceTable[fb]
+	for _, sa := range fta {
+		va := a.V[sa]
+		ok := false
+		for _, sb := range ftb {
+			if b.V[sb] == va {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateDelaunay verifies the global empty-circumsphere property by brute
+// force: no canonical vertex lies strictly inside the circumsphere of any
+// live tet (for infinite tets: strictly outside the hull facet). O(T·N);
+// tests only.
+func (t *Triangulation) ValidateDelaunay() error {
+	canon := make([]int32, 0, len(t.pts))
+	for v := range t.pts {
+		if t.dupOf[v] == int32(v) {
+			canon = append(canon, int32(v))
+		}
+	}
+	for i := range t.tets {
+		if t.dead[i] {
+			continue
+		}
+		tt := &t.tets[i]
+		for _, v := range canon {
+			inTet := false
+			for _, u := range tt.V {
+				if u == v {
+					inTet = true
+					break
+				}
+			}
+			if inTet {
+				continue
+			}
+			if t.conflicts(int32(i), t.pts[v]) {
+				return fmt.Errorf("vertex %d violates circumsphere of tet %d (verts %v)", v, i, tt.V)
+			}
+		}
+	}
+	return nil
+}

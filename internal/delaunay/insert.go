@@ -1,0 +1,287 @@
+package delaunay
+
+import (
+	"fmt"
+
+	"godtfe/internal/geom"
+)
+
+// nextRand is a small xorshift64* PRNG used only to randomize the face
+// visiting order during walks (stochastic visibility walk), keeping runs
+// deterministic for a given build.
+func (t *Triangulation) nextRand() uint64 {
+	x := t.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Locate returns a live tetrahedron whose closure contains p, walking from
+// an internal hint. The result is an infinite tet when p lies outside the
+// convex hull.
+func (t *Triangulation) Locate(p geom.Vec3) int32 {
+	return t.LocateFrom(t.last, p)
+}
+
+// LocateFrom walks toward p starting from the given tet (which may be dead
+// or infinite; a live start is chosen if needed). It implements the
+// stochastic visibility walk: from a finite tet, move through any face
+// whose outward side strictly contains p. The walk terminates on Delaunay
+// triangulations.
+func (t *Triangulation) LocateFrom(start int32, p geom.Vec3) int32 {
+	ti, _ := t.LocateFromCount(start, p)
+	return ti
+}
+
+// LocateFromCount is LocateFrom reporting the number of tetrahedra visited
+// (the walk length, the cost driver of walking-based grid rendering).
+func (t *Triangulation) LocateFromCount(start int32, p geom.Vec3) (int32, int) {
+	cur := start
+	if cur < 0 || cur >= int32(len(t.tets)) || t.dead[cur] {
+		cur = t.anyLiveTet()
+	}
+	// If we start on an infinite tet, step into the hull first.
+	if s := t.tets[cur].InfSlot(); s >= 0 {
+		cur = t.tets[cur].N[s]
+	}
+	maxSteps := 4*len(t.tets) + 64
+	for step := 0; step < maxSteps; step++ {
+		tt := &t.tets[cur]
+		if tt.InfSlot() >= 0 {
+			// p escaped the hull: it belongs to this infinite region.
+			return cur, step + 1
+		}
+		off := int(t.nextRand() & 3)
+		moved := false
+		for k := 0; k < 4; k++ {
+			f := (k + off) & 3
+			ft := faceTable[f]
+			a, b, c := tt.V[ft[0]], tt.V[ft[1]], tt.V[ft[2]]
+			if geom.Orient3D(t.pts[a], t.pts[b], t.pts[c], p) > 0 {
+				cur = tt.N[f]
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return cur, step + 1
+		}
+	}
+	// Should be unreachable with exact predicates; fall back to scanning.
+	for i := range t.tets {
+		if t.dead[i] || t.tets[i].InfSlot() >= 0 {
+			continue
+		}
+		if t.containsPoint(int32(i), p) {
+			return int32(i), maxSteps
+		}
+	}
+	panic("delaunay: locate failed to converge")
+}
+
+func (t *Triangulation) anyLiveTet() int32 {
+	for i := range t.tets {
+		if !t.dead[i] {
+			return int32(i)
+		}
+	}
+	panic("delaunay: no live tets")
+}
+
+func (t *Triangulation) containsPoint(ti int32, p geom.Vec3) bool {
+	tt := &t.tets[ti]
+	for f := 0; f < 4; f++ {
+		ft := faceTable[f]
+		a, b, c := tt.V[ft[0]], tt.V[ft[1]], tt.V[ft[2]]
+		if geom.Orient3D(t.pts[a], t.pts[b], t.pts[c], p) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// conflicts reports whether p lies strictly inside the (symbolically
+// perturbed) circumsphere of tet ti. For an infinite tet the circumsphere
+// degenerates to the open outer half-space of its hull facet; when p lies
+// exactly on the facet plane, membership in the facet's circumdisk is
+// equivalent to membership in the circumball of the finite cell behind the
+// facet, so that cell's perturbed test decides the tie consistently.
+func (t *Triangulation) conflicts(ti int32, p geom.Vec3) bool {
+	tt := &t.tets[ti]
+	if s := tt.InfSlot(); s >= 0 {
+		ft := faceTable[s]
+		a, b, c := tt.V[ft[0]], tt.V[ft[1]], tt.V[ft[2]]
+		// The face opposite Inf has its positive side toward the hull
+		// interior; p conflicts when on the infinite (negative) side.
+		o := geom.Orient3D(t.pts[a], t.pts[b], t.pts[c], p)
+		if o < 0 {
+			return true
+		}
+		if o > 0 {
+			return false
+		}
+		return t.conflicts(tt.N[s], p) // finite neighbor shares the disk
+	}
+	pa, pb, pc, pd := t.pts[tt.V[0]], t.pts[tt.V[1]], t.pts[tt.V[2]], t.pts[tt.V[3]]
+	if s := geom.InSphere(pa, pb, pc, pd, p); s != 0 {
+		return s > 0
+	}
+	return inSpherePerturbed(pa, pb, pc, pd, p) > 0
+}
+
+// insert adds vertex v to the triangulation. Exact duplicates are recorded
+// in dupOf and skipped.
+func (t *Triangulation) insert(v int32) {
+	p := t.pts[v]
+	loc := t.LocateFrom(t.last, p)
+
+	// Duplicate check: if p coincides with a vertex of the containing tet,
+	// merge instead of inserting.
+	for _, u := range t.tets[loc].V {
+		if u != Inf && t.pts[u] == p {
+			t.dupOf[v] = u
+			return
+		}
+	}
+
+	seed := t.findConflictSeed(loc, p)
+	if seed == NoTet {
+		// Exactly cospherical with everything relevant but not a duplicate
+		// cannot happen for a point in the closure of a live tet; guard
+		// anyway to fail loudly rather than corrupt the structure.
+		panic(fmt.Sprintf("delaunay: no conflict seed for point %v", p))
+	}
+
+	t.carveCavity(seed, p)
+	t.fillCavity(v)
+	t.insertedCount++
+}
+
+// findConflictSeed returns a tet in conflict with p, searching outward from
+// loc (which should contain p in its closure).
+func (t *Triangulation) findConflictSeed(loc int32, p geom.Vec3) int32 {
+	if t.conflicts(loc, p) {
+		return loc
+	}
+	// p may sit exactly on a boundary face of loc with its open
+	// circumball empty; a neighbor must then conflict.
+	for _, n := range t.tets[loc].N {
+		if n != NoTet && !t.dead[n] && t.conflicts(n, p) {
+			return n
+		}
+	}
+	for _, n := range t.tets[loc].N {
+		if n == NoTet || t.dead[n] {
+			continue
+		}
+		for _, m := range t.tets[n].N {
+			if m != NoTet && !t.dead[m] && t.conflicts(m, p) {
+				return m
+			}
+		}
+	}
+	return NoTet
+}
+
+// carveCavity flood-fills the conflict region from seed, recording cavity
+// tets and the outward-oriented boundary faces.
+func (t *Triangulation) carveCavity(seed int32, p geom.Vec3) {
+	t.epoch++
+	t.cavity = t.cavity[:0]
+	t.border = t.border[:0]
+
+	t.mark[seed] = t.epoch
+	stack := []int32{seed}
+	t.cavity = append(t.cavity, seed)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		tt := t.tets[cur] // copy: t.tets may grow later, but not here
+		for f := 0; f < 4; f++ {
+			n := tt.N[f]
+			if t.mark[n] == t.epoch {
+				continue
+			}
+			if t.conflicts(n, p) {
+				t.mark[n] = t.epoch
+				t.cavity = append(t.cavity, n)
+				stack = append(stack, n)
+				continue
+			}
+			ft := faceTable[f]
+			// Record the reciprocal face index now: by the time the cavity
+			// is refilled the slot for cur may have been recycled.
+			g := int32(-1)
+			for j := 0; j < 4; j++ {
+				if t.tets[n].N[j] == cur {
+					g = int32(j)
+					break
+				}
+			}
+			if g < 0 {
+				panic("delaunay: neighbor symmetry violated")
+			}
+			t.border = append(t.border, borderFace{
+				outside:     n,
+				outsideFace: g,
+				w:           [3]int32{tt.V[ft[0]], tt.V[ft[1]], tt.V[ft[2]]},
+			})
+		}
+	}
+}
+
+// fillCavity deletes the cavity and retriangulates it as the star of vertex
+// v over the boundary faces, rebuilding all adjacency.
+func (t *Triangulation) fillCavity(v int32) {
+	for _, ti := range t.cavity {
+		t.killTet(ti)
+	}
+	clear(t.edgeLink)
+	var lastNew int32 = NoTet
+	for _, bf := range t.border {
+		nt := t.newTet(Tet{V: [4]int32{v, bf.w[0], bf.w[1], bf.w[2]}})
+		lastNew = nt
+		// Face opposite v is the boundary face; glue to the outside tet.
+		t.tets[nt].N[0] = bf.outside
+		t.tets[bf.outside].N[bf.outsideFace] = nt
+		// Internal faces: opposite slot k (k=1..3) the face holds v and
+		// the two w's other than w[k-1]; key on that vertex pair.
+		for k := 1; k <= 3; k++ {
+			var x, y int32
+			switch k {
+			case 1:
+				x, y = bf.w[1], bf.w[2]
+			case 2:
+				x, y = bf.w[0], bf.w[2]
+			case 3:
+				x, y = bf.w[0], bf.w[1]
+			}
+			key := edgeKey(x, y)
+			if prev, ok := t.edgeLink[key]; ok {
+				t.tets[nt].N[k] = prev.tet
+				t.tets[prev.tet].N[prev.face] = nt
+				delete(t.edgeLink, key)
+			} else {
+				t.edgeLink[key] = faceRef{tet: nt, face: int32(k)}
+			}
+		}
+		for _, u := range t.tets[nt].V {
+			if u != Inf {
+				t.vertTet[u] = nt
+			}
+		}
+	}
+	if len(t.edgeLink) != 0 {
+		panic("delaunay: cavity retriangulation left unmatched faces")
+	}
+	t.last = lastNew
+}
+
+func edgeKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a+1))<<32 | uint64(uint32(b+1))
+}

@@ -1,0 +1,65 @@
+package delaunay
+
+import "godtfe/internal/geom"
+
+// Symbolic perturbation for exactly-cospherical point sets, following
+// Devillers & Teillaud ("Perturbations for Delaunay and weighted Delaunay
+// 3D triangulations", the scheme used by CGAL): when five points are
+// exactly cospherical the in-sphere decision is broken as if each point's
+// paraboloid lift carried an infinitesimal weight determined by the
+// lexicographic (x,y,z) order of the points. The perturbed predicate never
+// returns "on the sphere", so Bowyer–Watson conflict cavities are always
+// star-shaped and the construction is deterministic on degenerate inputs
+// (regular grids, points on a common sphere, ...).
+
+// ptLess is the lexicographic order used as the perturbation order.
+func ptLess(a, b geom.Vec3) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.Z < b.Z
+}
+
+// inSpherePerturbed resolves InSphere(a,b,c,d,e) == 0 symbolically.
+// (a,b,c,d) must be positively oriented and all five points pairwise
+// distinct. Returns +1 (treat e as inside) or -1 (outside); never 0.
+func inSpherePerturbed(a, b, c, d, e geom.Vec3) int {
+	// Process points from lexicographically largest to smallest; the first
+	// whose removal yields a non-degenerate sub-determinant decides.
+	idx := [5]int{0, 1, 2, 3, 4}
+	pts := [5]geom.Vec3{a, b, c, d, e}
+	// Insertion sort descending by ptLess.
+	for i := 1; i < 5; i++ {
+		j := i
+		for j > 0 && ptLess(pts[idx[j-1]], pts[idx[j]]) {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+			j--
+		}
+	}
+	for _, k := range idx {
+		switch k {
+		case 4: // the query point itself: perturbed strictly outside
+			return -1
+		case 3:
+			if o := geom.Orient3D(a, b, c, e); o != 0 {
+				return o
+			}
+		case 2:
+			if o := geom.Orient3D(a, b, d, e); o != 0 {
+				return -o
+			}
+		case 1:
+			if o := geom.Orient3D(a, c, d, e); o != 0 {
+				return o
+			}
+		case 0:
+			if o := geom.Orient3D(b, c, d, e); o != 0 {
+				return -o
+			}
+		}
+	}
+	panic("delaunay: perturbed insphere with degenerate input (duplicate points?)")
+}

@@ -1,0 +1,544 @@
+package delaunay
+
+import (
+	"errors"
+
+	"godtfe/internal/geom"
+)
+
+// Tri2 is a 2D triangle: three vertex indices (Inf for the infinite
+// vertex) and the neighbors opposite each vertex. Finite triangles are
+// counterclockwise; infinite triangles are CCW in the symbolic sense (the
+// infinite vertex acts as a point far beyond the hull edge).
+type Tri2 struct {
+	V [3]int32
+	N [3]int32
+}
+
+// InfSlot returns the slot of the infinite vertex, or -1 for a finite
+// triangle.
+func (t *Tri2) InfSlot() int {
+	for i, v := range t.V {
+		if v == Inf {
+			return i
+		}
+	}
+	return -1
+}
+
+// edgeTable2 lists, for slot i, the two other vertex slots in CCW order
+// (the edge opposite V[i], traversed with the triangle interior on its
+// left).
+var edgeTable2 = [3][2]int{{1, 2}, {2, 0}, {0, 1}}
+
+// Triangulation2 is a 2D Delaunay triangulation, the planar counterpart
+// of Triangulation: incremental Bowyer–Watson with exact predicates and
+// symbolic perturbation for cocircular inputs.
+type Triangulation2 struct {
+	pts   []geom.Vec2
+	tris  []Tri2
+	dead  []bool
+	free  []int32
+	dupOf []int32
+	last  int32
+
+	mark   []int32
+	epoch  int32
+	cavity []int32
+	border []borderEdge
+	rng    uint64
+
+	inserted int
+}
+
+type borderEdge struct {
+	outside     int32
+	outsideEdge int32
+	w           [2]int32 // CCW edge of the cavity triangle
+}
+
+// New2D builds the Delaunay triangulation of the 2D point set. Duplicates
+// merge; an error is returned if all points are collinear.
+func New2D(pts []geom.Vec2) (*Triangulation2, error) {
+	if len(pts) < 3 {
+		return nil, errors.New("delaunay: need at least 3 points")
+	}
+	t := &Triangulation2{
+		pts:   pts,
+		dupOf: make([]int32, len(pts)),
+		rng:   0x9e3779b97f4a7c15,
+	}
+	for i := range t.dupOf {
+		t.dupOf[i] = int32(i)
+	}
+	// Insert in Morton-ish order on the two coordinates (reuse the 3D
+	// order with z = 0).
+	lift := make([]geom.Vec3, len(pts))
+	for i, p := range pts {
+		lift[i] = geom.Vec3{X: p.X, Y: p.Y}
+	}
+	order := geom.MortonOrder(lift)
+
+	used, err := t.initFirstTri(order)
+	if err != nil {
+		return nil, err
+	}
+	for _, oi := range order {
+		v := int32(oi)
+		if used[v] {
+			continue
+		}
+		t.insert2(v)
+	}
+	return t, nil
+}
+
+func (t *Triangulation2) initFirstTri(order []int) (map[int32]bool, error) {
+	p := t.pts
+	i0 := int32(order[0])
+	i1, i2 := NoTet, NoTet
+	for _, oi := range order[1:] {
+		v := int32(oi)
+		if i1 == NoTet {
+			if p[v] != p[i0] {
+				i1 = v
+			}
+			continue
+		}
+		if geom.Orient2D(p[i0], p[i1], p[v]) != 0 {
+			i2 = v
+			break
+		}
+	}
+	if i2 == NoTet {
+		return nil, errors.New("delaunay: all points are collinear")
+	}
+	if geom.Orient2D(p[i0], p[i1], p[i2]) < 0 {
+		i0, i1 = i1, i0
+	}
+	t0 := t.newTri(Tri2{V: [3]int32{i0, i1, i2}})
+	// Infinite triangle across the CCW edge (s,t) of T0 is (t, s, Inf):
+	// its finite edge traversed CCW keeps the infinite region on the left.
+	tv := t.tris[t0].V
+	var infs [3]int32
+	for e := 0; e < 3; e++ {
+		et := edgeTable2[e]
+		s, u := tv[et[0]], tv[et[1]]
+		ti := t.newTri(Tri2{V: [3]int32{u, s, Inf}})
+		infs[e] = ti
+		t.tris[t0].N[e] = ti
+		t.tris[ti].N[2] = t0
+	}
+	// Glue infinite triangles around the hull: infinite tri across edge e
+	// has finite verts (u, s); its edge opposite slot 0 (u) is (s, Inf),
+	// shared with the infinite tri whose hull edge starts at s... link by
+	// brute force on shared vertex pairs.
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if a == b {
+				continue
+			}
+			ta, tb := &t.tris[infs[a]], &t.tris[infs[b]]
+			for ea := 0; ea < 2; ea++ { // slots 0,1 hold finite verts
+				for eb := 0; eb < 2; eb++ {
+					// Edge opposite slot ea of ta contains Inf and one
+					// finite vertex; match those pairs.
+					eta := edgeTable2[ea]
+					etb := edgeTable2[eb]
+					va := [2]int32{ta.V[eta[0]], ta.V[eta[1]]}
+					vb := [2]int32{tb.V[etb[0]], tb.V[etb[1]]}
+					if sameEdge(va, vb) && ta.N[ea] == NoTet {
+						ta.N[ea] = infs[b]
+						tb.N[eb] = infs[a]
+					}
+				}
+			}
+		}
+	}
+	t.last = t0
+	t.inserted = 3
+	return map[int32]bool{i0: true, i1: true, i2: true}, nil
+}
+
+func sameEdge(a, b [2]int32) bool {
+	return (a[0] == b[0] && a[1] == b[1]) || (a[0] == b[1] && a[1] == b[0])
+}
+
+func (t *Triangulation2) newTri(tr Tri2) int32 {
+	if tr.N == ([3]int32{}) {
+		tr.N = [3]int32{NoTet, NoTet, NoTet}
+	}
+	if n := len(t.free); n > 0 {
+		idx := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.tris[idx] = tr
+		t.dead[idx] = false
+		return idx
+	}
+	t.tris = append(t.tris, tr)
+	t.dead = append(t.dead, false)
+	t.mark = append(t.mark, 0)
+	return int32(len(t.tris) - 1)
+}
+
+func (t *Triangulation2) nextRand() uint64 {
+	x := t.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Locate2 returns a live triangle whose closure contains p (an infinite
+// triangle when p is outside the hull).
+func (t *Triangulation2) Locate2(p geom.Vec2) int32 {
+	cur := t.last
+	if cur < 0 || cur >= int32(len(t.tris)) || t.dead[cur] {
+		for i := range t.tris {
+			if !t.dead[i] {
+				cur = int32(i)
+				break
+			}
+		}
+	}
+	if s := t.tris[cur].InfSlot(); s >= 0 {
+		cur = t.tris[cur].N[s]
+	}
+	maxSteps := 3*len(t.tris) + 32
+	for step := 0; step < maxSteps; step++ {
+		tt := &t.tris[cur]
+		if tt.InfSlot() >= 0 {
+			return cur
+		}
+		off := int(t.nextRand() % 3)
+		moved := false
+		for k := 0; k < 3; k++ {
+			e := (k + off) % 3
+			et := edgeTable2[e]
+			a, b := tt.V[et[0]], tt.V[et[1]]
+			// Interior on the left of the CCW edge; strictly right = out.
+			if geom.Orient2D(t.pts[a], t.pts[b], p) < 0 {
+				cur = tt.N[e]
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return cur
+		}
+	}
+	panic("delaunay: 2D locate failed to converge")
+}
+
+// conflicts2 reports whether p lies strictly inside the (symbolically
+// perturbed) circumcircle of triangle ti. For infinite triangles the
+// circle degenerates to the open outer half-plane; collinear ties delegate
+// to the finite neighbor, whose circumcircle meets the hull edge's line in
+// exactly the edge segment.
+func (t *Triangulation2) conflicts2(ti int32, p geom.Vec2) bool {
+	tt := &t.tris[ti]
+	if s := tt.InfSlot(); s >= 0 {
+		et := edgeTable2[s]
+		a, b := tt.V[et[0]], tt.V[et[1]]
+		o := geom.Orient2D(t.pts[a], t.pts[b], p)
+		if o > 0 {
+			return true // infinite region is on the left
+		}
+		if o < 0 {
+			return false
+		}
+		return t.conflicts2(tt.N[s], p)
+	}
+	pa, pb, pc := t.pts[tt.V[0]], t.pts[tt.V[1]], t.pts[tt.V[2]]
+	if s := geom.InCircle(pa, pb, pc, p); s != 0 {
+		return s > 0
+	}
+	return inCirclePerturbed(pa, pb, pc, p) > 0
+}
+
+// inCirclePerturbed breaks exact cocircularity symbolically, mirroring
+// inSpherePerturbed one dimension down (lift-cofactor signs derived from
+// the inside-positive CCW convention).
+func inCirclePerturbed(a, b, c, d geom.Vec2) int {
+	idx := [4]int{0, 1, 2, 3}
+	pts := [4]geom.Vec2{a, b, c, d}
+	less := func(x, y geom.Vec2) bool {
+		if x.X != y.X {
+			return x.X < y.X
+		}
+		return x.Y < y.Y
+	}
+	for i := 1; i < 4; i++ {
+		j := i
+		for j > 0 && less(pts[idx[j-1]], pts[idx[j]]) {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+			j--
+		}
+	}
+	for _, k := range idx {
+		switch k {
+		case 3: // the query point: perturbed strictly outside
+			return -1
+		case 2:
+			if o := geom.Orient2D(a, b, d); o != 0 {
+				return o
+			}
+		case 1:
+			if o := geom.Orient2D(a, c, d); o != 0 {
+				return -o
+			}
+		case 0:
+			if o := geom.Orient2D(b, c, d); o != 0 {
+				return o
+			}
+		}
+	}
+	panic("delaunay: perturbed incircle with degenerate input (duplicate points?)")
+}
+
+func (t *Triangulation2) insert2(v int32) {
+	p := t.pts[v]
+	loc := t.Locate2(p)
+	for _, u := range t.tris[loc].V {
+		if u != Inf && t.pts[u] == p {
+			t.dupOf[v] = u
+			return
+		}
+	}
+	seed := loc
+	if !t.conflicts2(seed, p) {
+		seed = NoTet
+		for _, n := range t.tris[loc].N {
+			if !t.dead[n] && t.conflicts2(n, p) {
+				seed = n
+				break
+			}
+		}
+		if seed == NoTet {
+			panic("delaunay: no 2D conflict seed")
+		}
+	}
+
+	// Carve the conflict cavity.
+	t.epoch++
+	t.cavity = t.cavity[:0]
+	t.border = t.border[:0]
+	t.mark[seed] = t.epoch
+	stack := []int32{seed}
+	t.cavity = append(t.cavity, seed)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		tt := t.tris[cur]
+		for e := 0; e < 3; e++ {
+			n := tt.N[e]
+			if t.mark[n] == t.epoch {
+				continue
+			}
+			if t.conflicts2(n, p) {
+				t.mark[n] = t.epoch
+				t.cavity = append(t.cavity, n)
+				stack = append(stack, n)
+				continue
+			}
+			g := int32(-1)
+			for j := 0; j < 3; j++ {
+				if t.tris[n].N[j] == cur {
+					g = int32(j)
+					break
+				}
+			}
+			if g < 0 {
+				panic("delaunay: 2D neighbor symmetry violated")
+			}
+			et := edgeTable2[e]
+			t.border = append(t.border, borderEdge{
+				outside:     n,
+				outsideEdge: g,
+				w:           [2]int32{tt.V[et[0]], tt.V[et[1]]},
+			})
+		}
+	}
+
+	// Refill as the star of v: new triangle (w0, w1, v) per border edge.
+	for _, ci := range t.cavity {
+		t.dead[ci] = true
+		t.free = append(t.free, ci)
+	}
+	link := make(map[int32]edgeRef, 2*len(t.border))
+	var lastNew int32 = NoTet
+	for _, be := range t.border {
+		nt := t.newTri(Tri2{V: [3]int32{be.w[0], be.w[1], v}})
+		lastNew = nt
+		t.tris[nt].N[2] = be.outside
+		t.tris[be.outside].N[be.outsideEdge] = nt
+		// Edge opposite slot 0 is (w1, v): keyed by w1; opposite slot 1 is
+		// (v, w0): keyed by w0.
+		for _, lk := range [2]struct {
+			key  int32
+			slot int32
+		}{{be.w[1], 0}, {be.w[0], 1}} {
+			if prev, ok := link[lk.key]; ok {
+				t.tris[nt].N[lk.slot] = prev.tri
+				t.tris[prev.tri].N[prev.edge] = nt
+				delete(link, lk.key)
+			} else {
+				link[lk.key] = edgeRef{tri: nt, edge: lk.slot}
+			}
+		}
+	}
+	if len(link) != 0 {
+		panic("delaunay: 2D cavity left unmatched edges")
+	}
+	t.last = lastNew
+	t.inserted++
+}
+
+type edgeRef struct {
+	tri  int32
+	edge int32
+}
+
+// NumPoints returns the input point count.
+func (t *Triangulation2) NumPoints() int { return len(t.pts) }
+
+// Points returns the shared input slice.
+func (t *Triangulation2) Points() []geom.Vec2 { return t.pts }
+
+// Tris returns the raw triangle store; skip Dead2 slots.
+func (t *Triangulation2) Tris() []Tri2 { return t.tris }
+
+// Dead2 reports whether slot i is free.
+func (t *Triangulation2) Dead2(i int32) bool { return t.dead[i] }
+
+// IsInfinite2 reports whether triangle i has the infinite vertex.
+func (t *Triangulation2) IsInfinite2(i int32) bool { return t.tris[i].InfSlot() >= 0 }
+
+// DuplicateOf2 maps an input index to its canonical vertex.
+func (t *Triangulation2) DuplicateOf2(i int) int { return int(t.dupOf[i]) }
+
+// NumFiniteTris counts live finite triangles.
+func (t *Triangulation2) NumFiniteTris() int {
+	n := 0
+	for i := range t.tris {
+		if !t.dead[i] && t.tris[i].InfSlot() < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachFiniteTri visits every live finite triangle.
+func (t *Triangulation2) ForEachFiniteTri(fn func(ti int32, tr *Tri2)) {
+	for i := range t.tris {
+		if t.dead[i] {
+			continue
+		}
+		tr := &t.tris[i]
+		if tr.InfSlot() >= 0 {
+			continue
+		}
+		fn(int32(i), tr)
+	}
+}
+
+// Validate2 checks structural invariants (neighbor symmetry, CCW
+// orientation of finite triangles).
+func (t *Triangulation2) Validate2() error {
+	for i := range t.tris {
+		if t.dead[i] {
+			continue
+		}
+		tt := &t.tris[i]
+		for e := 0; e < 3; e++ {
+			n := tt.N[e]
+			if n == NoTet || t.dead[n] {
+				return errors.New("delaunay: 2D missing or dead neighbor")
+			}
+			ok := false
+			for j := 0; j < 3; j++ {
+				if t.tris[n].N[j] == int32(i) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return errors.New("delaunay: 2D asymmetric adjacency")
+			}
+		}
+		if tt.InfSlot() < 0 {
+			if geom.Orient2D(t.pts[tt.V[0]], t.pts[tt.V[1]], t.pts[tt.V[2]]) <= 0 {
+				return errors.New("delaunay: 2D triangle not CCW")
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateDelaunay2 brute-force checks the empty-circumcircle property.
+func (t *Triangulation2) ValidateDelaunay2() error {
+	for i := range t.tris {
+		if t.dead[i] {
+			continue
+		}
+		for v := range t.pts {
+			if t.dupOf[v] != int32(v) {
+				continue
+			}
+			inTri := false
+			for _, u := range t.tris[i].V {
+				if u == int32(v) {
+					inTri = true
+					break
+				}
+			}
+			if inTri {
+				continue
+			}
+			if t.conflicts2(int32(i), t.pts[v]) {
+				return errors.New("delaunay: 2D circumcircle violated")
+			}
+		}
+	}
+	return nil
+}
+
+// TriArea returns the (positive) area of finite triangle ti.
+func (t *Triangulation2) TriArea(ti int32) float64 {
+	tr := &t.tris[ti]
+	return geom.TriangleArea2(t.pts[tr.V[0]], t.pts[tr.V[1]], t.pts[tr.V[2]]) / 2
+}
+
+// VertexAreas returns, per canonical vertex, the summed area of incident
+// finite triangles (the 2D DTFE contiguous-cell denominator) and hull
+// flags (incident to an infinite triangle).
+func (t *Triangulation2) VertexAreas() (area []float64, hull []bool) {
+	area = make([]float64, len(t.pts))
+	hull = make([]bool, len(t.pts))
+	for i := range t.tris {
+		if t.dead[i] {
+			continue
+		}
+		tr := &t.tris[i]
+		if s := tr.InfSlot(); s >= 0 {
+			for j, v := range tr.V {
+				if j != s {
+					hull[v] = true
+				}
+			}
+			continue
+		}
+		a := t.TriArea(int32(i))
+		for _, v := range tr.V {
+			area[v] += a
+		}
+	}
+	for i := range t.dupOf {
+		if c := t.dupOf[i]; c != int32(i) {
+			area[i] = area[c]
+			hull[i] = hull[c]
+		}
+	}
+	return area, hull
+}

@@ -1,0 +1,165 @@
+package delaunay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"godtfe/internal/geom"
+)
+
+func randPoints2(n int, seed int64) []geom.Vec2 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Vec2, n)
+	for i := range pts {
+		pts[i] = geom.Vec2{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+func build2D(t *testing.T, pts []geom.Vec2) *Triangulation2 {
+	t.Helper()
+	tri, err := New2D(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tri
+}
+
+func TestTri2DSingleTriangle(t *testing.T) {
+	tri := build2D(t, []geom.Vec2{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}})
+	if err := tri.Validate2(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tri.NumFiniteTris(); got != 1 {
+		t.Fatalf("finite tris = %d", got)
+	}
+}
+
+func TestTri2DRandomDelaunayProperty(t *testing.T) {
+	for _, n := range []int{5, 25, 120, 400} {
+		tri := build2D(t, randPoints2(n, int64(n)))
+		if err := tri.Validate2(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := tri.ValidateDelaunay2(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestTri2DGridDegenerate(t *testing.T) {
+	// Lattice points: every 2x2 block is exactly cocircular.
+	var pts []geom.Vec2
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			pts = append(pts, geom.Vec2{X: float64(i), Y: float64(j)})
+		}
+	}
+	tri := build2D(t, pts)
+	if err := tri.Validate2(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tri.ValidateDelaunay2(); err != nil {
+		t.Fatal(err)
+	}
+	// Triangulated area must equal the hull area 49.
+	var area float64
+	tri.ForEachFiniteTri(func(ti int32, tr *Tri2) {
+		a, b, c := tri.pts[tr.V[0]], tri.pts[tr.V[1]], tri.pts[tr.V[2]]
+		area += geom.TriangleArea2(a, b, c) / 2
+	})
+	if math.Abs(area-49) > 1e-9 {
+		t.Fatalf("area = %v, want 49", area)
+	}
+	// Euler: for a triangulated convex polygon with all 64 vertices,
+	// T = 2*64 - 2 - hullVerts = 126 - 28 = 98.
+	if got := tri.NumFiniteTris(); got != 98 {
+		t.Fatalf("finite tris = %d, want 98", got)
+	}
+}
+
+func TestTri2DCoCircularStress(t *testing.T) {
+	// Points on a circle: maximal cocircularity.
+	var pts []geom.Vec2
+	const n = 60
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / n
+		pts = append(pts, geom.Vec2{X: math.Cos(a), Y: math.Sin(a)})
+	}
+	pts = append(pts, geom.Vec2{X: 0.05, Y: 0.01})
+	tri := build2D(t, pts)
+	if err := tri.Validate2(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tri.ValidateDelaunay2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTri2DDuplicatesAndCollinear(t *testing.T) {
+	pts := randPoints2(40, 7)
+	pts = append(pts, pts[3], pts[17])
+	tri := build2D(t, pts)
+	if tri.DuplicateOf2(40) != 3 || tri.DuplicateOf2(41) != 17 {
+		t.Fatalf("dup mapping: %d, %d", tri.DuplicateOf2(40), tri.DuplicateOf2(41))
+	}
+	// Collinear input rejected.
+	var line []geom.Vec2
+	for i := 0; i < 10; i++ {
+		line = append(line, geom.Vec2{X: float64(i), Y: 2 * float64(i)})
+	}
+	if _, err := New2D(line); err == nil {
+		t.Fatal("collinear input accepted")
+	}
+	if _, err := New2D(line[:2]); err == nil {
+		t.Fatal("two points accepted")
+	}
+}
+
+func TestTri2DLocate(t *testing.T) {
+	pts := randPoints2(200, 9)
+	tri := build2D(t, pts)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Vec2{X: rng.Float64(), Y: rng.Float64()}
+		ti := tri.Locate2(q)
+		if tri.IsInfinite2(ti) {
+			continue // possible near the hull
+		}
+		tt := tri.Tris()[ti]
+		// q inside or on the boundary: not strictly right of any edge.
+		for e := 0; e < 3; e++ {
+			et := edgeTable2[e]
+			a, b := tt.V[et[0]], tt.V[et[1]]
+			if geom.Orient2D(pts[a], pts[b], q) < 0 {
+				t.Fatalf("located triangle does not contain %v", q)
+			}
+		}
+	}
+	// Far-outside points land on infinite triangles.
+	if ti := tri.Locate2(geom.Vec2{X: 40, Y: -3}); !tri.IsInfinite2(ti) {
+		t.Fatal("outside point located in a finite triangle")
+	}
+}
+
+func TestTri2DInsertOutsideHull(t *testing.T) {
+	pts := []geom.Vec2{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 3, Y: 3}, {X: -2, Y: 0.5}}
+	tri := build2D(t, pts)
+	if err := tri.Validate2(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tri.ValidateDelaunay2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild2D5k(b *testing.B) {
+	pts := randPoints2(5000, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New2D(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

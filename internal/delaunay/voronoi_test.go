@@ -1,0 +1,175 @@
+package delaunay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"godtfe/internal/geom"
+)
+
+func TestVoronoiVolumesLattice(t *testing.T) {
+	// Unit lattice: every interior vertex's Voronoi cell is the unit cube.
+	var pts []geom.Vec3
+	n := 6
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				pts = append(pts, geom.Vec3{X: float64(i), Y: float64(j), Z: float64(k)})
+			}
+		}
+	}
+	tri := buildOrFatal(t, pts)
+	vol, bounded := tri.VoronoiVolumes()
+	interior := 0
+	idx := func(i, j, k int) int { return (i*n+j)*n + k }
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			for k := 1; k < n-1; k++ {
+				v := idx(i, j, k)
+				if !bounded[v] {
+					t.Fatalf("interior lattice vertex %d reported unbounded", v)
+				}
+				if math.Abs(vol[v]-1) > 1e-9 {
+					t.Fatalf("lattice cell volume %v, want 1", vol[v])
+				}
+				interior++
+			}
+		}
+	}
+	if interior != (n-2)*(n-2)*(n-2) {
+		t.Fatalf("interior count %d", interior)
+	}
+	// Hull vertices are unbounded.
+	if bounded[idx(0, 0, 0)] {
+		t.Fatal("corner vertex should be unbounded")
+	}
+}
+
+// jitteredLattice returns an n³ lattice with spacing 1 jittered by
+// amp per coordinate.
+func jitteredLattice(n int, amp float64, seed int64) []geom.Vec3 {
+	rng := rand.New(rand.NewSource(seed))
+	var pts []geom.Vec3
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				pts = append(pts, geom.Vec3{
+					X: float64(i) + amp*(rng.Float64()*2-1),
+					Y: float64(j) + amp*(rng.Float64()*2-1),
+					Z: float64(k) + amp*(rng.Float64()*2-1),
+				})
+			}
+		}
+	}
+	return pts
+}
+
+func TestVoronoiVolumesJitteredLatticeMonteCarlo(t *testing.T) {
+	// Deep-interior cells of a jittered lattice lie well inside the hull,
+	// so restricted Monte-Carlo nearest-neighbor counting is unbiased for
+	// them. (Near-hull cells legitimately extend outside the hull —
+	// Voronoi cells tile all of space — so they are excluded.)
+	const n = 7
+	pts := jitteredLattice(n, 0.2, 3)
+	tri := buildOrFatal(t, pts)
+	vol, bounded := tri.VoronoiVolumes()
+
+	rng := rand.New(rand.NewSource(4))
+	const samples = 300000
+	counts := make([]int, len(pts))
+	// The sample box must contain every checked cell entirely: cells of
+	// lattice sites i ∈ [2, n-3] reach at most to the bisector with the
+	// i=1 / i=n-2 layers, i.e. past 1.5-ish with 0.2 jitter. 0.8 margin
+	// is safely beyond that.
+	lo, hi := 0.8, float64(n)-1.8
+	boxVol := math.Pow(hi-lo, 3)
+	for s := 0; s < samples; s++ {
+		q := geom.Vec3{
+			X: lo + rng.Float64()*(hi-lo),
+			Y: lo + rng.Float64()*(hi-lo),
+			Z: lo + rng.Float64()*(hi-lo),
+		}
+		best, bestD := -1, math.Inf(1)
+		for i, p := range pts {
+			if d := p.Sub(q).Norm2(); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		counts[best]++
+	}
+	idx := func(i, j, k int) int { return (i*n+j)*n + k }
+	checked := 0
+	for i := 2; i < n-2; i++ {
+		for j := 2; j < n-2; j++ {
+			for k := 2; k < n-2; k++ {
+				v := idx(i, j, k)
+				if !bounded[v] {
+					t.Fatalf("deep-interior vertex %d unbounded", v)
+				}
+				mc := float64(counts[v]) / samples * boxVol
+				if math.Abs(vol[v]-mc) > 0.2*mc+0.02 {
+					t.Fatalf("vertex %d: voronoi %v vs MC %v", v, vol[v], mc)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cells checked")
+	}
+}
+
+func TestVoronoiVolumesPartitionInterior(t *testing.T) {
+	// Interior cells of a jittered lattice partition space: their mean
+	// volume is the lattice cell volume (1) even though individual cells
+	// fluctuate.
+	const n = 8
+	pts := jitteredLattice(n, 0.25, 5)
+	tri := buildOrFatal(t, pts)
+	vol, bounded := tri.VoronoiVolumes()
+	idx := func(i, j, k int) int { return (i*n+j)*n + k }
+	var sum float64
+	cnt := 0
+	for i := 2; i < n-2; i++ {
+		for j := 2; j < n-2; j++ {
+			for k := 2; k < n-2; k++ {
+				v := idx(i, j, k)
+				if !bounded[v] {
+					t.Fatalf("interior vertex %d unbounded", v)
+				}
+				if vol[v] < 0.3 || vol[v] > 3 {
+					t.Fatalf("interior cell volume %v outside sane band", vol[v])
+				}
+				sum += vol[v]
+				cnt++
+			}
+		}
+	}
+	mean := sum / float64(cnt)
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("mean interior cell volume %v, want ~1", mean)
+	}
+}
+
+func TestVoronoiDuplicatesInherit(t *testing.T) {
+	pts := randPoints(100, 7)
+	pts = append(pts, pts[50])
+	tri := buildOrFatal(t, pts)
+	vol, bounded := tri.VoronoiVolumes()
+	if vol[100] != vol[50] || bounded[100] != bounded[50] {
+		t.Fatalf("duplicate did not inherit: %v/%v vs %v/%v", vol[100], bounded[100], vol[50], bounded[50])
+	}
+}
+
+func BenchmarkVoronoiVolumes5k(b *testing.B) {
+	pts := randPoints(5000, 9)
+	tri, err := New(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tri.VoronoiVolumes()
+	}
+}

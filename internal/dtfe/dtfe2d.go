@@ -1,0 +1,121 @@
+package dtfe
+
+import (
+	"errors"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/geom"
+)
+
+// Field2D is the planar DTFE: densities on a 2D Delaunay triangulation
+// with per-triangle constant gradients. The estimator is the d = 2 case of
+// the paper's equations 1–2: ρ̂(xᵢ) = 3 m / Σ A(Tⱼ,ᵢ), linear inside each
+// triangle. Useful for sky-plane (projected) point sets.
+type Field2D struct {
+	Tri *delaunay.Triangulation2
+
+	// Density[v] is the 2D DTFE density at vertex v.
+	Density []float64
+	// Hull[v] marks hull vertices (unbounded contiguous cells).
+	Hull []bool
+
+	grad []geom.Vec2
+}
+
+// NewField2D estimates densities on the 2D triangulation; masses may be
+// nil for unit masses.
+func NewField2D(tri *delaunay.Triangulation2, masses []float64) (*Field2D, error) {
+	n := tri.NumPoints()
+	if masses != nil && len(masses) != n {
+		return nil, errors.New("dtfe: masses length mismatch")
+	}
+	area, hull := tri.VertexAreas()
+	mass := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m := 1.0
+		if masses != nil {
+			m = masses[i]
+		}
+		mass[tri.DuplicateOf2(i)] += m
+	}
+	density := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if tri.DuplicateOf2(v) != v {
+			continue
+		}
+		if area[v] > 0 {
+			density[v] = 3 * mass[v] / area[v] // (d+1) = 3 in 2D
+		}
+	}
+	for v := 0; v < n; v++ {
+		if c := tri.DuplicateOf2(v); c != v {
+			density[v] = density[c]
+		}
+	}
+	f := &Field2D{Tri: tri, Density: density, Hull: hull}
+	f.computeGradients2()
+	return f, nil
+}
+
+// SetValues replaces the vertex values (e.g. a velocity component) and
+// recomputes gradients.
+func (f *Field2D) SetValues(values []float64) error {
+	if len(values) != f.Tri.NumPoints() {
+		return errors.New("dtfe: values length mismatch")
+	}
+	f.Density = values
+	f.computeGradients2()
+	return nil
+}
+
+func (f *Field2D) computeGradients2() {
+	pts := f.Tri.Points()
+	f.grad = make([]geom.Vec2, len(f.Tri.Tris()))
+	f.Tri.ForEachFiniteTri(func(ti int32, tr *delaunay.Tri2) {
+		x0 := pts[tr.V[0]]
+		e1 := pts[tr.V[1]].Sub(x0)
+		e2 := pts[tr.V[2]].Sub(x0)
+		d0 := f.Density[tr.V[0]]
+		r1 := f.Density[tr.V[1]] - d0
+		r2 := f.Density[tr.V[2]] - d0
+		det := e1.X*e2.Y - e1.Y*e2.X
+		if det == 0 {
+			return
+		}
+		f.grad[ti] = geom.Vec2{
+			X: (r1*e2.Y - r2*e1.Y) / det,
+			Y: (r2*e1.X - r1*e2.X) / det,
+		}
+	})
+}
+
+// Gradient2 returns the constant gradient of finite triangle ti.
+func (f *Field2D) Gradient2(ti int32) geom.Vec2 { return f.grad[ti] }
+
+// Interpolate2 evaluates the linear model of finite triangle ti at p.
+func (f *Field2D) Interpolate2(ti int32, p geom.Vec2) float64 {
+	tr := &f.Tri.Tris()[ti]
+	x0 := f.Tri.Points()[tr.V[0]]
+	return f.Density[tr.V[0]] + f.grad[ti].Dot(p.Sub(x0))
+}
+
+// At2 locates p and interpolates; ok is false outside the hull.
+func (f *Field2D) At2(p geom.Vec2) (float64, bool) {
+	ti := f.Tri.Locate2(p)
+	if f.Tri.IsInfinite2(ti) {
+		return 0, false
+	}
+	return f.Interpolate2(ti, p), true
+}
+
+// TotalMass integrates the piecewise-linear density over the hull:
+// A·(ρ0+ρ1+ρ2)/3 per triangle, which telescopes to the total input mass.
+func (f *Field2D) TotalMass() float64 {
+	var m float64
+	f.Tri.ForEachFiniteTri(func(ti int32, tr *delaunay.Tri2) {
+		a := f.Tri.TriArea(ti)
+		s := f.Density[tr.V[0]] + f.Density[tr.V[1]] + f.Density[tr.V[2]]
+		m += a * s / 3
+	})
+	return m
+}

@@ -1,0 +1,114 @@
+package dtfe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/geom"
+)
+
+func randPoints2(n int, seed int64) []geom.Vec2 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Vec2, n)
+	for i := range pts {
+		pts[i] = geom.Vec2{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+func field2D(t *testing.T, pts []geom.Vec2, masses []float64) *Field2D {
+	t.Helper()
+	tri, err := delaunay.New2D(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewField2D(tri, masses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestField2DMassConservation(t *testing.T) {
+	f := field2D(t, randPoints2(400, 1), nil)
+	if got := f.TotalMass(); math.Abs(got-400) > 1e-6 {
+		t.Fatalf("2D total mass = %v, want 400", got)
+	}
+}
+
+func TestField2DUniformLattice(t *testing.T) {
+	var pts []geom.Vec2
+	n := 8
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pts = append(pts, geom.Vec2{X: float64(i), Y: float64(j)})
+		}
+	}
+	f := field2D(t, pts, nil)
+	for v := range pts {
+		if f.Hull[v] {
+			continue
+		}
+		if math.Abs(f.Density[v]-1) > 1e-9 {
+			t.Fatalf("interior 2D lattice density %v, want 1", f.Density[v])
+		}
+	}
+}
+
+func TestField2DLinearExactness(t *testing.T) {
+	pts := randPoints2(300, 3)
+	f := field2D(t, pts, nil)
+	lin := func(p geom.Vec2) float64 { return 1.5 - 2*p.X + 0.75*p.Y }
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = lin(p)
+	}
+	if err := f.SetValues(vals); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Vec2{X: 0.2 + 0.6*rng.Float64(), Y: 0.2 + 0.6*rng.Float64()}
+		got, ok := f.At2(q)
+		if !ok {
+			continue
+		}
+		if math.Abs(got-lin(q)) > 1e-9*(1+math.Abs(lin(q))) {
+			t.Fatalf("at %v: %v want %v", q, got, lin(q))
+		}
+	}
+}
+
+func TestField2DValidation(t *testing.T) {
+	tri, err := delaunay.New2D(randPoints2(30, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewField2D(tri, make([]float64, 2)); err == nil {
+		t.Fatal("mass mismatch accepted")
+	}
+	f, err := NewField2D(tri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetValues(make([]float64, 2)); err == nil {
+		t.Fatal("value mismatch accepted")
+	}
+	if _, ok := f.At2(geom.Vec2{X: 50, Y: 50}); ok {
+		t.Fatal("outside hull should report !ok")
+	}
+}
+
+func TestField2DDuplicates(t *testing.T) {
+	pts := randPoints2(80, 7)
+	pts = append(pts, pts[11])
+	f := field2D(t, pts, nil)
+	if f.Density[80] != f.Density[11] {
+		t.Fatal("duplicate density mismatch")
+	}
+	if got := f.TotalMass(); math.Abs(got-81) > 1e-6 {
+		t.Fatalf("2D duplicate mass = %v, want 81", got)
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/dtfe"
+	"godtfe/internal/geom"
+	"godtfe/internal/kdtree"
+	"godtfe/internal/model"
+	"godtfe/internal/render"
+	"godtfe/internal/synth"
+)
+
+// calibration is a cost model of the real kernel on this host, fit from
+// real timed executions. The scaling figures (9, 10, 12, 13) feed it to
+// the virtual-time executor so their shapes reflect the true per-item cost
+// curve.
+type calibration struct {
+	Model model.WorkModel
+	// Samples are the raw measurements (n, tri seconds, render seconds).
+	NS, Tri, Rend []float64
+}
+
+// calibrate measures tri+render time on fields of growing particle count
+// cut from a clustered box, then fits the paper's two models.
+func calibrate(opt Options, gridN int) (*calibration, error) {
+	box := geom.AABB{Min: geom.Vec3{}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	// The calibration defines the cost curve the scaling figures trust, so
+	// it keeps a floor on the dataset size even when Scale shrinks the
+	// experiments themselves.
+	nPart := opt.scaled(60000)
+	if nPart < 20000 {
+		nPart = 20000
+	}
+	pts := synth.HaloSet(nPart, box, synth.DefaultHaloSpec(), opt.Seed+101)
+	tree := kdtree.New(pts)
+	rng := rand.New(rand.NewSource(opt.Seed + 102))
+	cal := &calibration{}
+	// Sample cubes of several sizes at random positions to span the n
+	// range the experiments will predict over.
+	sides := []float64{0.04, 0.07, 0.1, 0.15, 0.2, 0.28}
+	for _, side := range sides {
+		for trial := 0; trial < 4; trial++ {
+			c := geom.Vec3{
+				X: side/2 + rng.Float64()*(1-side),
+				Y: side/2 + rng.Float64()*(1-side),
+				Z: side/2 + rng.Float64()*(1-side),
+			}
+			h := side / 2
+			cube := geom.AABB{
+				Min: c.Sub(geom.Vec3{X: h, Y: h, Z: h}),
+				Max: c.Add(geom.Vec3{X: h, Y: h, Z: h}),
+			}
+			idx := tree.InBox(cube, nil)
+			if len(idx) < 64 {
+				continue
+			}
+			sel := make([]geom.Vec3, len(idx))
+			for i, id := range idx {
+				sel[i] = pts[id]
+			}
+			nTri, tTri, tRend, err := timeItem(sel, c, side*0.8, gridN)
+			if err != nil {
+				continue
+			}
+			cal.NS = append(cal.NS, float64(nTri))
+			cal.Tri = append(cal.Tri, tTri)
+			cal.Rend = append(cal.Rend, tRend)
+		}
+	}
+	wm, err := model.Fit(cal.NS, cal.Tri, cal.Rend)
+	if err != nil {
+		return nil, err
+	}
+	cal.Model = wm
+	return cal, nil
+}
+
+// timeItem triangulates and renders one field, returning the particle
+// count and phase seconds.
+func timeItem(sel []geom.Vec3, center geom.Vec3, fieldLen float64, gridN int) (int, float64, float64, error) {
+	t0 := time.Now()
+	tri, err := delaunay.New(sel)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	f, err := dtfe.NewField(tri, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tTri := time.Since(t0).Seconds()
+	spec := render.Spec{
+		Min: geom.Vec2{X: center.X - fieldLen/2, Y: center.Y - fieldLen/2},
+		Nx:  gridN, Ny: gridN, Cell: fieldLen / float64(gridN),
+		ZMin: center.Z - fieldLen/2, ZMax: center.Z + fieldLen/2,
+	}
+	t1 := time.Now()
+	m := render.NewMarcher(f)
+	if _, _, err := m.Render(spec, 1, render.ScheduleDynamic); err != nil {
+		return 0, 0, 0, err
+	}
+	return len(sel), tTri, time.Since(t1).Seconds(), nil
+}
+
+// lognoise returns a multiplicative log-normal noise factor.
+func lognoise(rng *rand.Rand, sigma float64) float64 {
+	return math.Exp(sigma * rng.NormFloat64())
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"time"
+
+	"godtfe/internal/geom"
+	"godtfe/internal/kdtree"
+	"godtfe/internal/synth"
+)
+
+var fig12Procs = []int{8, 16, 32, 64, 128, 220}
+
+// Fig12 reproduces the multiplane lensing scaling experiment (paper Fig
+// 12): 700 line-of-sight stacks × ~13 planes ≈ 9,061 fields mixing high-
+// and low-density sub-volumes. The paper observes better overall
+// scalability than the galaxy-galaxy configuration: more small work items
+// give the variable-bin-size packing more freedom, so work sharing wastes
+// less time blocked on sends.
+func Fig12(opt Options) (*Report, error) {
+	opt = opt.fill()
+	start := time.Now()
+	r := &Report{ID: "fig12", Title: "multiplane lensing: 9,061 fields along 700 lines of sight"}
+
+	box := geom.AABB{Min: geom.Vec3{}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	nPart := opt.scaled(150000)
+	pts := synth.HaloSet(nPart, box, synth.DefaultHaloSpec(), opt.Seed+3)
+
+	nLOS := opt.scaled(700)
+	planes := 13 // 700*13 = 9100 ≈ the paper's 9,061
+	centers := synth.LineOfSightStacks(nLOS, planes, box, opt.Seed+9)
+
+	tree := kdtree.New(pts)
+	// Multiplane lens planes cover a generous region around each line of
+	// sight, so even low-density planes carry real work (unlike fig9's
+	// tight halo-centered cubes).
+	const fieldLen = 0.1
+	side := fieldLen * 1.5
+	counts := make([]int, len(centers))
+	for i, c := range centers {
+		h := side / 2
+		counts[i] = tree.CountInBox(geom.AABB{
+			Min: c.Sub(geom.Vec3{X: h, Y: h, Z: h}),
+			Max: c.Add(geom.Vec3{X: h, Y: h, Z: h}),
+		})
+	}
+	cal, err := calibrate(opt, 64)
+	if err != nil {
+		return nil, err
+	}
+	study := &scalingStudy{
+		Box:            box,
+		Centers:        centers,
+		Counts:         counts,
+		Cal:            cal,
+		NoiseSigma:     0.2,
+		TotalParticles: float64(nPart),
+		Seed:           opt.Seed + 10,
+	}
+	rows, err := study.run(fig12Procs, true)
+	if err != nil {
+		return nil, err
+	}
+	reportScaling(r, rows)
+	r.Notef("paper: near-linear with only small deviation; mixed high/low density items make bin packing more effective than fig9's")
+	r.Notef("%d stacks x %d planes = %d fields", nLOS, planes, len(centers))
+	r.Elapsed = time.Since(start)
+	return r, nil
+}

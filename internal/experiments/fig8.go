@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/dtfe"
+	"godtfe/internal/geom"
+	"godtfe/internal/grid"
+	"godtfe/internal/render"
+	"godtfe/internal/stats"
+	"godtfe/internal/synth"
+)
+
+// Fig8 reproduces the estimator comparison maps (paper Fig 8): the same
+// dataset rendered by our DTFE marching kernel and by the TESS/DENSE-style
+// zero-order estimator, the log10 ratio map of the two fields, and the
+// histogram of log-ratios. The paper's histogram peaks at 0 (the maps
+// mostly agree) with an asymmetric bump from how the two estimators treat
+// the particle-noise bias of inverse-volume density estimates.
+func Fig8(opt Options) (*Report, error) {
+	opt = opt.fill()
+	start := time.Now()
+	r := &Report{ID: "fig8", Title: "DTFE vs TESS/DENSE maps: log10 ratio histogram"}
+
+	nPart := opt.scaled(30000)
+	gridN := opt.scaled(192)
+	if gridN < 32 {
+		gridN = 32
+	}
+
+	box := geom.AABB{Min: geom.Vec3{}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	pts := synth.HaloSet(nPart, box, synth.DefaultHaloSpec(), opt.Seed+2)
+	tri, err := delaunay.New(pts)
+	if err != nil {
+		return nil, err
+	}
+	field, err := dtfe.NewField(tri, nil)
+	if err != nil {
+		return nil, err
+	}
+	spec := render.Spec{
+		Min: geom.Vec2{}, Nx: gridN, Ny: gridN, Cell: 1.0 / float64(gridN),
+		ZMin: 0, ZMax: 1, Nz: gridN,
+	}
+	m := render.NewMarcher(field)
+	dtfeMap, _, err := m.Render(spec, 1, render.ScheduleDynamic)
+	if err != nil {
+		return nil, err
+	}
+	vorDen, _, err := dtfe.VoronoiDensities(tri, nil)
+	if err != nil {
+		return nil, err
+	}
+	z := render.NewZeroOrder(pts, vorDen)
+	denseMap, _, err := z.Render(spec, 1, render.ScheduleDynamic)
+	if err != nil {
+		return nil, err
+	}
+
+	ratio, err := grid.RatioMap(dtfeMap, denseMap)
+	if err != nil {
+		return nil, err
+	}
+	h := stats.NewHistogram(-2, 2, 41)
+	h.AddAll(ratio.Data)
+
+	r.Rowf("%-12s %12s", "log10(ratio)", "bin count")
+	for i, c := range h.Counts {
+		r.Rowf("%12.3f %12d", h.BinCenter(i), c)
+	}
+	var valid []float64
+	for _, v := range ratio.Data {
+		if !math.IsNaN(v) {
+			valid = append(valid, v)
+		}
+	}
+	sum := stats.Summarize(valid)
+	r.Rowf("cells=%d mode=%.3f mean=%.4f std=%.4f under=%d over=%d nan=%d",
+		len(valid), h.Mode(), sum.Mean, sum.Std, h.Under, h.Over, h.NaNs)
+	r.Rowf("total projected mass: dtfe=%.1f dense=%.1f (input %d)",
+		dtfeMap.Integral(), denseMap.Integral(), nPart)
+	r.Notef("paper: maps mostly agree (peak at 0), with a bump from the asymmetric particle-noise bias of inverse-volume estimators")
+	r.Notef("dataset: %d clustered particles, %d^2 grids", nPart, gridN)
+	r.Elapsed = time.Since(start)
+	return r, nil
+}

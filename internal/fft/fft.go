@@ -1,0 +1,160 @@
+// Package fft provides radix-2 complex FFTs in one, two and three
+// dimensions. It is the spectral substrate for the particle-mesh gravity
+// solver (internal/nbody) that stands in for the paper's HACC datasets and
+// for the lensing potential/deflection solver (internal/lens).
+package fft
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// ErrNotPow2 is returned when a transform length is not a power of two.
+var ErrNotPow2 = errors.New("fft: length must be a power of two")
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT computes the in-place forward (inverse=false) or inverse
+// (inverse=true) discrete Fourier transform of a. The inverse includes the
+// 1/N normalization.
+func FFT(a []complex128, inverse bool) error {
+	n := len(a)
+	if !IsPow2(n) {
+		return ErrNotPow2
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	// Iterative Cooley-Tukey.
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wn := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wn
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+	return nil
+}
+
+// FFT2D transforms a dense nx×ny array (x fastest) along both axes.
+func FFT2D(a []complex128, nx, ny int, inverse bool) error {
+	if len(a) != nx*ny {
+		return errors.New("fft: 2D shape mismatch")
+	}
+	if !IsPow2(nx) || !IsPow2(ny) {
+		return ErrNotPow2
+	}
+	// Rows (contiguous).
+	for y := 0; y < ny; y++ {
+		if err := FFT(a[y*nx:(y+1)*nx], inverse); err != nil {
+			return err
+		}
+	}
+	// Columns.
+	col := make([]complex128, ny)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			col[y] = a[y*nx+x]
+		}
+		if err := FFT(col, inverse); err != nil {
+			return err
+		}
+		for y := 0; y < ny; y++ {
+			a[y*nx+x] = col[y]
+		}
+	}
+	return nil
+}
+
+// FFT3D transforms a dense nx×ny×nz array (x fastest, then y, then z)
+// along all three axes.
+func FFT3D(a []complex128, nx, ny, nz int, inverse bool) error {
+	if len(a) != nx*ny*nz {
+		return errors.New("fft: 3D shape mismatch")
+	}
+	if !IsPow2(nx) || !IsPow2(ny) || !IsPow2(nz) {
+		return ErrNotPow2
+	}
+	// x lines.
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			off := (z*ny + y) * nx
+			if err := FFT(a[off:off+nx], inverse); err != nil {
+				return err
+			}
+		}
+	}
+	// y lines.
+	buf := make([]complex128, ny)
+	for z := 0; z < nz; z++ {
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				buf[y] = a[(z*ny+y)*nx+x]
+			}
+			if err := FFT(buf, inverse); err != nil {
+				return err
+			}
+			for y := 0; y < ny; y++ {
+				a[(z*ny+y)*nx+x] = buf[y]
+			}
+		}
+	}
+	// z lines.
+	if len(buf) < nz {
+		buf = make([]complex128, nz)
+	}
+	bz := buf[:nz]
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			for z := 0; z < nz; z++ {
+				bz[z] = a[(z*ny+y)*nx+x]
+			}
+			if err := FFT(bz, inverse); err != nil {
+				return err
+			}
+			for z := 0; z < nz; z++ {
+				a[(z*ny+y)*nx+x] = bz[z]
+			}
+		}
+	}
+	return nil
+}
+
+// FreqIndex maps array index i of an n-point transform to its signed
+// frequency index (i for i <= n/2, i-n otherwise).
+func FreqIndex(i, n int) int {
+	if i <= n/2 {
+		return i
+	}
+	return i - n
+}
+
+// Wavenumber returns the angular wavenumber 2π·FreqIndex/(n·d) for grid
+// spacing d.
+func Wavenumber(i, n int, d float64) float64 {
+	return 2 * math.Pi * float64(FreqIndex(i, n)) / (float64(n) * d)
+}

@@ -1,0 +1,197 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestRoundTrip1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 8, 64, 1024} {
+		a := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = a[i]
+		}
+		if err := FFT(a, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := FFT(a, true); err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if cmplx.Abs(a[i]-orig[i]) > 1e-10 {
+				t.Fatalf("n=%d: roundtrip diff %v at %d", n, a[i]-orig[i], i)
+			}
+		}
+	}
+}
+
+func TestNotPow2Rejected(t *testing.T) {
+	if err := FFT(make([]complex128, 12), false); err != ErrNotPow2 {
+		t.Fatalf("err = %v", err)
+	}
+	if err := FFT2D(make([]complex128, 12), 3, 4, false); err == nil {
+		t.Fatal("2D non-pow2 accepted")
+	}
+	if err := FFT3D(make([]complex128, 8), 2, 2, 3, false); err == nil {
+		t.Fatal("3D shape mismatch accepted")
+	}
+}
+
+func TestDeltaToFlat(t *testing.T) {
+	a := make([]complex128, 16)
+	a[0] = 1
+	if err := FFT(a, false); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range a {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("delta spectrum at %d = %v", i, v)
+		}
+	}
+}
+
+func TestSingleToneFrequency(t *testing.T) {
+	const n = 64
+	const f = 5
+	a := make([]complex128, n)
+	for i := range a {
+		ph := 2 * math.Pi * f * float64(i) / n
+		a[i] = complex(math.Cos(ph), math.Sin(ph))
+	}
+	if err := FFT(a, false); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range a {
+		want := 0.0
+		if i == f {
+			want = n
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %v", i, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 256
+	a := make([]complex128, n)
+	var timeE float64
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), 0)
+		timeE += real(a[i] * cmplx.Conj(a[i]))
+	}
+	if err := FFT(a, false); err != nil {
+		t.Fatal(err)
+	}
+	var freqE float64
+	for _, v := range a {
+		freqE += real(v * cmplx.Conj(v))
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-8*timeE {
+		t.Fatalf("parseval: %v vs %v", freqE/float64(n), timeE)
+	}
+}
+
+func TestConvolutionTheorem(t *testing.T) {
+	const n = 32
+	rng := rand.New(rand.NewSource(3))
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(rng.Float64(), 0)
+		b[i] = complex(rng.Float64(), 0)
+	}
+	// Direct circular convolution.
+	want := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want[i] += a[j] * b[(i-j+n)%n]
+		}
+	}
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	if err := FFT(fa, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFT(fb, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	if err := FFT(fa, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fa {
+		if cmplx.Abs(fa[i]-want[i]) > 1e-9 {
+			t.Fatalf("conv mismatch at %d: %v vs %v", i, fa[i], want[i])
+		}
+	}
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	const nx, ny, nz = 8, 4, 16
+	rng := rand.New(rand.NewSource(4))
+	a := make([]complex128, nx*ny*nz)
+	orig := make([]complex128, len(a))
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = a[i]
+	}
+	if err := FFT3D(a, nx, ny, nz, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFT3D(a, nx, ny, nz, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-orig[i]) > 1e-9 {
+			t.Fatalf("3D roundtrip diff at %d", i)
+		}
+	}
+}
+
+func TestFFT2DSeparable(t *testing.T) {
+	// A 2D delta transforms to all-ones.
+	const nx, ny = 8, 8
+	a := make([]complex128, nx*ny)
+	a[0] = 1
+	if err := FFT2D(a, nx, ny, false); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range a {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("2D delta at %d = %v", i, v)
+		}
+	}
+}
+
+func TestFreqIndexAndWavenumber(t *testing.T) {
+	if FreqIndex(0, 8) != 0 || FreqIndex(4, 8) != 4 || FreqIndex(5, 8) != -3 || FreqIndex(7, 8) != -1 {
+		t.Fatal("FreqIndex mapping wrong")
+	}
+	if k := Wavenumber(1, 8, 0.5); math.Abs(k-2*math.Pi/4) > 1e-15 {
+		t.Fatalf("wavenumber = %v", k)
+	}
+}
+
+func BenchmarkFFT3D64(b *testing.B) {
+	const n = 64
+	a := make([]complex128, n*n*n)
+	rng := rand.New(rand.NewSource(5))
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := FFT3D(a, n, n, n, i%2 == 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInterleave3RoundTripBits(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 0x155555, 0x1fffff} {
+		iv := interleave3(v)
+		// Every set bit of the result must sit at position ≡ 0 (mod 3).
+		for b := 0; b < 64; b++ {
+			if iv&(1<<b) != 0 && b%3 != 0 {
+				t.Fatalf("interleave3(%x) has bit at %d", v, b)
+			}
+		}
+		// De-interleave and compare.
+		var out uint64
+		for b := 0; b < 21; b++ {
+			if iv&(1<<(3*b)) != 0 {
+				out |= 1 << b
+			}
+		}
+		if out != v {
+			t.Fatalf("round trip %x -> %x", v, out)
+		}
+	}
+}
+
+func TestMortonOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]Vec3, 500)
+	for i := range pts {
+		pts[i] = randVec3(rng)
+	}
+	order := MortonOrder(pts)
+	seen := make([]bool, len(pts))
+	for _, idx := range order {
+		if idx < 0 || idx >= len(pts) || seen[idx] {
+			t.Fatalf("order is not a permutation at %d", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestMortonOrderLocality(t *testing.T) {
+	// Consecutive points in Morton order should on average be much closer
+	// than consecutive points in random order.
+	rng := rand.New(rand.NewSource(10))
+	pts := make([]Vec3, 4000)
+	for i := range pts {
+		pts[i] = Vec3{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	order := MortonOrder(pts)
+	var sorted, unsorted float64
+	for i := 1; i < len(pts); i++ {
+		sorted += pts[order[i]].Sub(pts[order[i-1]]).Norm()
+		unsorted += pts[i].Sub(pts[i-1]).Norm()
+	}
+	if sorted > unsorted/3 {
+		t.Errorf("morton path length %.1f should be well under random %.1f", sorted, unsorted)
+	}
+}
+
+func TestMortonKeyDegenerateBox(t *testing.T) {
+	// All points identical: zero-size box must not divide by zero.
+	b := BoundsOf([]Vec3{{1, 1, 1}, {1, 1, 1}})
+	if k := MortonKey(Vec3{1, 1, 1}, b); k != 0 {
+		t.Errorf("degenerate box key = %d", k)
+	}
+}

@@ -1,0 +1,40 @@
+package geom
+
+// Plücker coordinates of directed 3D lines, used for the Platis–Theoharis
+// ray–tetrahedron intersection test (paper eqs 7–10).
+//
+// A ray r through point x with direction l has Plücker representation
+// π_r = {U : V} = {l : l × x}. The relative orientation of two rays r, s is
+// the sign of the permuted inner product
+//
+//	π_r ⊙ π_s = U_r · V_s + U_s · V_r.
+//
+// For a ray crossing a triangular face whose edges are taken as directed
+// rays, all three permuted inner products share a sign when the ray passes
+// through the face interior; a zero marks a degeneracy (the ray meets an
+// edge or vertex, or is coplanar with the face).
+
+// Plucker holds the six Plücker coordinates {U : V} of a directed line.
+type Plucker struct {
+	U Vec3 // direction
+	V Vec3 // moment: direction × point
+}
+
+// PluckerFromRay builds Plücker coordinates for the ray through origin with
+// the given direction.
+func PluckerFromRay(origin, dir Vec3) Plucker {
+	return Plucker{U: dir, V: dir.Cross(origin)}
+}
+
+// PluckerFromSegment builds Plücker coordinates for the directed line
+// through a toward b.
+func PluckerFromSegment(a, b Vec3) Plucker {
+	d := b.Sub(a)
+	return Plucker{U: d, V: d.Cross(a)}
+}
+
+// Side returns the permuted inner product π_p ⊙ π_q (eq 8): positive,
+// negative, or zero according to the relative orientation of the two lines.
+func (p Plucker) Side(q Plucker) float64 {
+	return p.U.Dot(q.V) + q.U.Dot(p.V)
+}

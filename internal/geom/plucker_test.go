@@ -1,0 +1,86 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPluckerSideAntisymmetryOfReversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a, b := randVec3(rng), randVec3(rng)
+		c, d := randVec3(rng), randVec3(rng)
+		p := PluckerFromSegment(a, b)
+		q := PluckerFromSegment(c, d)
+		qr := PluckerFromSegment(d, c) // reversed
+		s := p.Side(q)
+		sr := p.Side(qr)
+		if s*sr > 0 {
+			t.Fatalf("reversing a line must flip the side sign: %g vs %g", s, sr)
+		}
+	}
+}
+
+func TestPluckerSideSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		p := PluckerFromSegment(randVec3(rng), randVec3(rng))
+		q := PluckerFromSegment(randVec3(rng), randVec3(rng))
+		if d := p.Side(q) - q.Side(p); d != 0 {
+			t.Fatalf("permuted inner product must be symmetric, diff %g", d)
+		}
+	}
+}
+
+func TestPluckerIntersectingLinesAreZero(t *testing.T) {
+	// Two lines meeting at a common point have zero permuted inner product.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		x := randVec3(rng)
+		p := PluckerFromSegment(x, x.Add(randVec3(rng)))
+		q := PluckerFromSegment(x.Sub(randVec3(rng)), x)
+		if s := p.Side(q); s > 1e-9 || s < -1e-9 {
+			t.Fatalf("concurrent lines should have |side| ~ 0, got %g", s)
+		}
+	}
+}
+
+func TestPluckerRayThroughTriangle(t *testing.T) {
+	// A vertical ray through the interior of a CCW (seen from above)
+	// triangle has consistent edge-side signs; outside, it has mixed signs.
+	a := Vec3{0, 0, 0}
+	b := Vec3{2, 0, 0}
+	c := Vec3{0, 2, 0}
+	e0 := PluckerFromSegment(a, b)
+	e1 := PluckerFromSegment(b, c)
+	e2 := PluckerFromSegment(c, a)
+
+	ray := func(x, y float64) Plucker {
+		return PluckerFromRay(Vec3{x, y, -10}, Vec3{0, 0, 1})
+	}
+	sameSign := func(p Plucker) bool {
+		s0, s1, s2 := p.Side(e0), p.Side(e1), p.Side(e2)
+		return (s0 > 0 && s1 > 0 && s2 > 0) || (s0 < 0 && s1 < 0 && s2 < 0)
+	}
+	if !sameSign(ray(0.5, 0.5)) {
+		t.Error("interior ray should have uniform signs")
+	}
+	if sameSign(ray(3, 3)) {
+		t.Error("exterior ray should have mixed signs")
+	}
+	// Through a vertex: at least one zero.
+	p := ray(0, 0)
+	if s := p.Side(e0); s != 0 {
+		t.Errorf("ray through vertex a should zero edge ab, got %g", s)
+	}
+}
+
+func TestPluckerFromRayMatchesSegment(t *testing.T) {
+	o := Vec3{1, 2, 3}
+	d := Vec3{0.5, -1, 2}
+	pr := PluckerFromRay(o, d)
+	ps := PluckerFromSegment(o, o.Add(d))
+	if pr.U != ps.U || pr.V != ps.V {
+		t.Errorf("ray %+v vs segment %+v", pr, ps)
+	}
+}

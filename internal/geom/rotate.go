@@ -1,0 +1,77 @@
+package geom
+
+import "math"
+
+// Mat3 is a row-major 3x3 matrix.
+type Mat3 [3][3]float64
+
+// Identity3 returns the identity matrix.
+func Identity3() Mat3 {
+	return Mat3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+}
+
+// Apply returns M·v.
+func (m Mat3) Apply(v Vec3) Vec3 {
+	return Vec3{
+		X: m[0][0]*v.X + m[0][1]*v.Y + m[0][2]*v.Z,
+		Y: m[1][0]*v.X + m[1][1]*v.Y + m[1][2]*v.Z,
+		Z: m[2][0]*v.X + m[2][1]*v.Y + m[2][2]*v.Z,
+	}
+}
+
+// Transpose returns Mᵀ (the inverse, for rotations).
+func (m Mat3) Transpose() Mat3 {
+	return Mat3{
+		{m[0][0], m[1][0], m[2][0]},
+		{m[0][1], m[1][1], m[2][1]},
+		{m[0][2], m[1][2], m[2][2]},
+	}
+}
+
+// RotationTo returns the rotation that maps the unit direction of `from`
+// onto the unit direction of `to` (Rodrigues' formula around their common
+// normal). The surface-density kernel integrates along +z; to integrate
+// along an arbitrary line of sight d, rotate the particle set by
+// RotationTo(d, ez) first (paper Section IV-A2: "any arbitrary direction
+// can be chosen by a simple rotation of the triangulation").
+func RotationTo(from, to Vec3) Mat3 {
+	f := from.Scale(1 / from.Norm())
+	t := to.Scale(1 / to.Norm())
+	v := f.Cross(t)
+	c := f.Dot(t)
+	s := v.Norm()
+	if s < 1e-15 {
+		if c > 0 {
+			return Identity3()
+		}
+		// Opposite directions: rotate π around any axis orthogonal to f.
+		axis := Vec3{X: 1}
+		if math.Abs(f.X) > 0.9 {
+			axis = Vec3{Y: 1}
+		}
+		v = f.Cross(axis)
+		v = v.Scale(1 / v.Norm())
+		return rodrigues(v, -1, 0)
+	}
+	return rodrigues(v.Scale(1/s), c, s)
+}
+
+// rodrigues builds the rotation around unit axis k by the angle with
+// cosine c and sine s.
+func rodrigues(k Vec3, c, s float64) Mat3 {
+	oc := 1 - c
+	return Mat3{
+		{c + k.X*k.X*oc, k.X*k.Y*oc - k.Z*s, k.X*k.Z*oc + k.Y*s},
+		{k.Y*k.X*oc + k.Z*s, c + k.Y*k.Y*oc, k.Y*k.Z*oc - k.X*s},
+		{k.Z*k.X*oc - k.Y*s, k.Z*k.Y*oc + k.X*s, c + k.Z*k.Z*oc},
+	}
+}
+
+// RotatePoints applies m to every point, returning a new slice.
+func RotatePoints(m Mat3, pts []Vec3) []Vec3 {
+	out := make([]Vec3, len(pts))
+	for i, p := range pts {
+		out[i] = m.Apply(p)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRotationToMapsDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		from := randVec3(rng)
+		to := randVec3(rng)
+		if from.Norm() < 1e-6 || to.Norm() < 1e-6 {
+			continue
+		}
+		m := RotationTo(from, to)
+		got := m.Apply(from.Scale(1 / from.Norm()))
+		want := to.Scale(1 / to.Norm())
+		if got.Sub(want).Norm() > 1e-12 {
+			t.Fatalf("trial %d: rotated %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestRotationIsOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		m := RotationTo(randVec3(rng), randVec3(rng))
+		// Lengths are preserved.
+		v := randVec3(rng)
+		if math.Abs(m.Apply(v).Norm()-v.Norm()) > 1e-12*(1+v.Norm()) {
+			t.Fatal("rotation changed a length")
+		}
+		// Mᵀ is the inverse.
+		id := v
+		back := m.Transpose().Apply(m.Apply(v))
+		if back.Sub(id).Norm() > 1e-12*(1+v.Norm()) {
+			t.Fatal("transpose is not the inverse")
+		}
+	}
+}
+
+func TestRotationToParallelAndAntiparallel(t *testing.T) {
+	d := Vec3{X: 0.3, Y: -0.4, Z: 0.5}
+	if m := RotationTo(d, d); m != Identity3() {
+		t.Fatalf("parallel rotation = %v", m)
+	}
+	m := RotationTo(d, d.Scale(-3))
+	got := m.Apply(d)
+	want := d.Scale(-1)
+	if got.Sub(want).Norm() > 1e-12 {
+		t.Fatalf("antiparallel: %v want %v", got, want)
+	}
+	// Axis-aligned antiparallel exercises the fallback axis choice.
+	mx := RotationTo(Vec3{X: 1}, Vec3{X: -1})
+	if g := mx.Apply(Vec3{X: 1}); g.Sub(Vec3{X: -1}).Norm() > 1e-12 {
+		t.Fatalf("x-antiparallel: %v", g)
+	}
+}
+
+func TestRotatePoints(t *testing.T) {
+	m := RotationTo(Vec3{X: 1}, Vec3{Y: 1}) // 90° around z
+	pts := []Vec3{{X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 5}}
+	out := RotatePoints(m, pts)
+	if out[0].Sub(Vec3{Y: 1}).Norm() > 1e-12 {
+		t.Fatalf("out[0] = %v", out[0])
+	}
+	if out[1].Sub(Vec3{X: -1, Z: 5}).Norm() > 1e-12 {
+		t.Fatalf("out[1] = %v", out[1])
+	}
+	if pts[0] != (Vec3{X: 1}) {
+		t.Fatal("input mutated")
+	}
+}

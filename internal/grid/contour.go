@@ -1,0 +1,81 @@
+package grid
+
+import "godtfe/internal/geom"
+
+// Segment is one line segment of a contour, in physical coordinates.
+type Segment struct {
+	A, B geom.Vec2
+}
+
+// ContourLines extracts the level set {g = level} with marching squares
+// (linear interpolation along cell edges, midpoint rule for the two
+// ambiguous saddle cases). Used for lensing critical curves — the zero
+// set of the inverse magnification — and for density contours.
+func (g *Grid2D) ContourLines(level float64) []Segment {
+	var out []Segment
+	// March over cells of the dual grid: corners are the cell centers.
+	for j := 0; j+1 < g.Ny; j++ {
+		for i := 0; i+1 < g.Nx; i++ {
+			v00 := g.At(i, j)
+			v10 := g.At(i+1, j)
+			v01 := g.At(i, j+1)
+			v11 := g.At(i+1, j+1)
+			idx := 0
+			if v00 >= level {
+				idx |= 1
+			}
+			if v10 >= level {
+				idx |= 2
+			}
+			if v11 >= level {
+				idx |= 4
+			}
+			if v01 >= level {
+				idx |= 8
+			}
+			if idx == 0 || idx == 15 {
+				continue
+			}
+			p00 := g.Center(i, j)
+			p10 := g.Center(i+1, j)
+			p01 := g.Center(i, j+1)
+			p11 := g.Center(i+1, j+1)
+			// Edge crossings by linear interpolation.
+			lerp := func(pa, pb geom.Vec2, va, vb float64) geom.Vec2 {
+				t := 0.5
+				if vb != va {
+					t = (level - va) / (vb - va)
+				}
+				return geom.Vec2{X: pa.X + t*(pb.X-pa.X), Y: pa.Y + t*(pb.Y-pa.Y)}
+			}
+			bottom := func() geom.Vec2 { return lerp(p00, p10, v00, v10) }
+			top := func() geom.Vec2 { return lerp(p01, p11, v01, v11) }
+			left := func() geom.Vec2 { return lerp(p00, p01, v00, v01) }
+			right := func() geom.Vec2 { return lerp(p10, p11, v10, v11) }
+
+			switch idx {
+			case 1, 14:
+				out = append(out, Segment{left(), bottom()})
+			case 2, 13:
+				out = append(out, Segment{bottom(), right()})
+			case 3, 12:
+				out = append(out, Segment{left(), right()})
+			case 4, 11:
+				out = append(out, Segment{right(), top()})
+			case 6, 9:
+				out = append(out, Segment{bottom(), top()})
+			case 7, 8:
+				out = append(out, Segment{left(), top()})
+			case 5, 10:
+				// Saddle: disambiguate with the cell-center mean.
+				mean := (v00 + v10 + v01 + v11) / 4
+				if (idx == 5) == (mean >= level) {
+					out = append(out, Segment{left(), top()}, Segment{bottom(), right()})
+				} else {
+					out = append(out, Segment{left(), bottom()}, Segment{right(), top()})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"godtfe/internal/geom"
+)
+
+func TestContourCircle(t *testing.T) {
+	// f = x² + y² on a centered grid: the level set f = r² is a circle of
+	// radius r; every extracted segment endpoint must sit on it.
+	const n = 64
+	g := NewGrid2D(n, n, geom.Vec2{X: -1, Y: -1}, 2.0/n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			c := g.Center(i, j)
+			g.Set(i, j, c.X*c.X+c.Y*c.Y)
+		}
+	}
+	const r = 0.6
+	segs := g.ContourLines(r * r)
+	if len(segs) < 20 {
+		t.Fatalf("too few segments: %d", len(segs))
+	}
+	var perim float64
+	for _, s := range segs {
+		for _, p := range []geom.Vec2{s.A, s.B} {
+			if d := math.Abs(p.Norm() - r); d > 0.03 {
+				t.Fatalf("contour point %v at radius %v, want %v", p, p.Norm(), r)
+			}
+		}
+		perim += s.B.Sub(s.A).Norm()
+	}
+	want := 2 * math.Pi * r
+	if math.Abs(perim-want) > 0.1*want {
+		t.Fatalf("perimeter %v, want ~%v", perim, want)
+	}
+}
+
+func TestContourEmptyAndFull(t *testing.T) {
+	g := NewGrid2D(8, 8, geom.Vec2{}, 1)
+	if segs := g.ContourLines(0.5); segs != nil {
+		t.Fatalf("flat grid has no contours, got %d", len(segs))
+	}
+	for i := range g.Data {
+		g.Data[i] = 2
+	}
+	if segs := g.ContourLines(0.5); segs != nil {
+		t.Fatalf("uniform grid above level has no contours, got %d", len(segs))
+	}
+}
+
+func TestContourSaddle(t *testing.T) {
+	// f = x*y has a saddle at the origin; the level set f=0 must produce
+	// segments in the saddle cells without crossing through them wrongly
+	// (no panic, nonzero output, endpoints on the axes).
+	const n = 32
+	g := NewGrid2D(n, n, geom.Vec2{X: -1, Y: -1}, 2.0/n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			c := g.Center(i, j)
+			g.Set(i, j, c.X*c.Y)
+		}
+	}
+	segs := g.ContourLines(1e-9) // just off zero to avoid grid-aligned ties
+	if len(segs) < 10 {
+		t.Fatalf("saddle contours missing: %d", len(segs))
+	}
+	for _, s := range segs {
+		mid := geom.Vec2{X: (s.A.X + s.B.X) / 2, Y: (s.A.Y + s.B.Y) / 2}
+		if math.Abs(mid.X*mid.Y) > 0.05 {
+			t.Fatalf("segment midpoint %v too far from the zero set", mid)
+		}
+	}
+}

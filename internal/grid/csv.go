@@ -1,0 +1,44 @@
+package grid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteCSV writes the grid as rows of comma-separated values, one output
+// row per grid row (y ascending), suitable for plotting tools.
+func (g *Grid2D) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for j := 0; j < g.Ny; j++ {
+		for i := 0; i < g.Nx; i++ {
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%g", g.At(i, j)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteXYZ writes one "x,y,value" line per cell (long form, for tools that
+// prefer tidy data).
+func (g *Grid2D) WriteXYZ(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for j := 0; j < g.Ny; j++ {
+		for i := 0; i < g.Nx; i++ {
+			c := g.Center(i, j)
+			if _, err := fmt.Fprintf(bw, "%g,%g,%g\n", c.X, c.Y, g.At(i, j)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,225 @@
+// Package grid provides dense 2D and 3D regular grids used for rendered
+// density fields, plus the map algebra needed by the paper's evaluation
+// (z-projection, ratio maps, summaries) and a PGM dump for eyeballing
+// results.
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"godtfe/internal/geom"
+)
+
+// Grid2D is a dense row-major 2D scalar field over a physical rectangle.
+type Grid2D struct {
+	Nx, Ny int
+	Min    geom.Vec2
+	Cell   float64 // square cell edge length
+	Data   []float64
+}
+
+// NewGrid2D allocates an Nx×Ny grid with lower corner min and cell size
+// cell.
+func NewGrid2D(nx, ny int, min geom.Vec2, cell float64) *Grid2D {
+	return &Grid2D{Nx: nx, Ny: ny, Min: min, Cell: cell, Data: make([]float64, nx*ny)}
+}
+
+// At returns the value at column i, row j.
+func (g *Grid2D) At(i, j int) float64 { return g.Data[j*g.Nx+i] }
+
+// Set stores v at column i, row j.
+func (g *Grid2D) Set(i, j int, v float64) { g.Data[j*g.Nx+i] = v }
+
+// Add accumulates v at column i, row j.
+func (g *Grid2D) Add(i, j int, v float64) { g.Data[j*g.Nx+i] += v }
+
+// Center returns the physical center of cell (i, j).
+func (g *Grid2D) Center(i, j int) geom.Vec2 {
+	return geom.Vec2{
+		X: g.Min.X + (float64(i)+0.5)*g.Cell,
+		Y: g.Min.Y + (float64(j)+0.5)*g.Cell,
+	}
+}
+
+// CellIndex returns the cell containing the physical point p, clamped to
+// the grid.
+func (g *Grid2D) CellIndex(p geom.Vec2) (i, j int) {
+	i = clampInt(int(math.Floor((p.X-g.Min.X)/g.Cell)), 0, g.Nx-1)
+	j = clampInt(int(math.Floor((p.Y-g.Min.Y)/g.Cell)), 0, g.Ny-1)
+	return
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Sum returns the sum of all cell values.
+func (g *Grid2D) Sum() float64 {
+	var s float64
+	for _, v := range g.Data {
+		s += v
+	}
+	return s
+}
+
+// Integral returns Sum scaled by the cell area: the approximate integral
+// of the field over the grid footprint (for surface density, the total
+// mass under the grid).
+func (g *Grid2D) Integral() float64 { return g.Sum() * g.Cell * g.Cell }
+
+// MinMax returns the smallest and largest cell values.
+func (g *Grid2D) MinMax() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range g.Data {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return
+}
+
+// Clone returns a deep copy.
+func (g *Grid2D) Clone() *Grid2D {
+	out := NewGrid2D(g.Nx, g.Ny, g.Min, g.Cell)
+	copy(out.Data, g.Data)
+	return out
+}
+
+// RatioMap returns log10(a/b) per cell (paper Fig 8c). Cells where either
+// input is not strictly positive are NaN.
+func RatioMap(a, b *Grid2D) (*Grid2D, error) {
+	if a.Nx != b.Nx || a.Ny != b.Ny {
+		return nil, errors.New("grid: ratio map of mismatched grids")
+	}
+	out := NewGrid2D(a.Nx, a.Ny, a.Min, a.Cell)
+	for i, av := range a.Data {
+		bv := b.Data[i]
+		if av > 0 && bv > 0 {
+			out.Data[i] = math.Log10(av / bv)
+		} else {
+			out.Data[i] = math.NaN()
+		}
+	}
+	return out, nil
+}
+
+// L1Diff returns the mean absolute difference between two same-shape
+// grids.
+func L1Diff(a, b *Grid2D) (float64, error) {
+	if a.Nx != b.Nx || a.Ny != b.Ny {
+		return 0, errors.New("grid: diff of mismatched grids")
+	}
+	var s float64
+	for i := range a.Data {
+		s += math.Abs(a.Data[i] - b.Data[i])
+	}
+	return s / float64(len(a.Data)), nil
+}
+
+// WritePGM writes the grid as an 8-bit PGM image, mapping values through
+// log10 when logScale is set; NaNs map to black.
+func (g *Grid2D) WritePGM(w io.Writer, logScale bool) error {
+	vals := make([]float64, len(g.Data))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, v := range g.Data {
+		if logScale {
+			if v > 0 {
+				v = math.Log10(v)
+			} else {
+				v = math.NaN()
+			}
+		}
+		vals[i] = v
+		if !math.IsNaN(v) {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", g.Nx, g.Ny); err != nil {
+		return err
+	}
+	row := make([]byte, g.Nx)
+	for j := g.Ny - 1; j >= 0; j-- { // top row first
+		for i := 0; i < g.Nx; i++ {
+			v := vals[j*g.Nx+i]
+			if math.IsNaN(v) {
+				row[i] = 0
+				continue
+			}
+			row[i] = byte(255 * (v - lo) / span)
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Grid3D is a dense 3D scalar field over a physical box, laid out with x
+// fastest, then y, then z.
+type Grid3D struct {
+	Nx, Ny, Nz int
+	Min        geom.Vec3
+	Cell       float64
+	Data       []float64
+}
+
+// NewGrid3D allocates a 3D grid.
+func NewGrid3D(nx, ny, nz int, min geom.Vec3, cell float64) *Grid3D {
+	return &Grid3D{Nx: nx, Ny: ny, Nz: nz, Min: min, Cell: cell, Data: make([]float64, nx*ny*nz)}
+}
+
+// At returns the value at (i, j, k).
+func (g *Grid3D) At(i, j, k int) float64 { return g.Data[(k*g.Ny+j)*g.Nx+i] }
+
+// Set stores v at (i, j, k).
+func (g *Grid3D) Set(i, j, k int, v float64) { g.Data[(k*g.Ny+j)*g.Nx+i] = v }
+
+// Center returns the physical center of cell (i, j, k).
+func (g *Grid3D) Center(i, j, k int) geom.Vec3 {
+	return geom.Vec3{
+		X: g.Min.X + (float64(i)+0.5)*g.Cell,
+		Y: g.Min.Y + (float64(j)+0.5)*g.Cell,
+		Z: g.Min.Z + (float64(k)+0.5)*g.Cell,
+	}
+}
+
+// ProjectZ integrates the field along z (paper eq 4): out(i,j) =
+// Σ_k v(i,j,k) Δz.
+func (g *Grid3D) ProjectZ() *Grid2D {
+	out := NewGrid2D(g.Nx, g.Ny, geom.Vec2{X: g.Min.X, Y: g.Min.Y}, g.Cell)
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			base := (k*g.Ny + j) * g.Nx
+			orow := j * g.Nx
+			for i := 0; i < g.Nx; i++ {
+				out.Data[orow+i] += g.Data[base+i] * g.Cell
+			}
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all cell values.
+func (g *Grid3D) Sum() float64 {
+	var s float64
+	for _, v := range g.Data {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+package grid
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"godtfe/internal/geom"
+)
+
+func TestGrid2DBasics(t *testing.T) {
+	g := NewGrid2D(4, 3, geom.Vec2{X: 1, Y: 2}, 0.5)
+	g.Set(2, 1, 7)
+	if g.At(2, 1) != 7 {
+		t.Fatal("set/get mismatch")
+	}
+	g.Add(2, 1, 1)
+	if g.At(2, 1) != 8 {
+		t.Fatal("add mismatch")
+	}
+	if c := g.Center(0, 0); c != (geom.Vec2{X: 1.25, Y: 2.25}) {
+		t.Fatalf("center = %v", c)
+	}
+	if i, j := g.CellIndex(geom.Vec2{X: 1.6, Y: 2.6}); i != 1 || j != 1 {
+		t.Fatalf("cell index = %d,%d", i, j)
+	}
+	// Clamping.
+	if i, j := g.CellIndex(geom.Vec2{X: -5, Y: 100}); i != 0 || j != 2 {
+		t.Fatalf("clamped index = %d,%d", i, j)
+	}
+	if g.Sum() != 8 {
+		t.Fatalf("sum = %v", g.Sum())
+	}
+	if g.Integral() != 8*0.25 {
+		t.Fatalf("integral = %v", g.Integral())
+	}
+	lo, hi := g.MinMax()
+	if lo != 0 || hi != 8 {
+		t.Fatalf("minmax = %v,%v", lo, hi)
+	}
+	c := g.Clone()
+	c.Set(0, 0, 5)
+	if g.At(0, 0) != 0 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestRatioMap(t *testing.T) {
+	a := NewGrid2D(2, 2, geom.Vec2{}, 1)
+	b := NewGrid2D(2, 2, geom.Vec2{}, 1)
+	a.Set(0, 0, 100)
+	b.Set(0, 0, 10)
+	a.Set(1, 0, 1)
+	b.Set(1, 0, 1)
+	// (0,1) stays zero in both -> NaN
+	a.Set(1, 1, 5)
+	b.Set(1, 1, 0) // zero denominator -> NaN
+	r, err := RatioMap(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.At(0, 0) != 1 {
+		t.Fatalf("ratio(0,0) = %v", r.At(0, 0))
+	}
+	if r.At(1, 0) != 0 {
+		t.Fatalf("ratio(1,0) = %v", r.At(1, 0))
+	}
+	if !math.IsNaN(r.At(0, 1)) || !math.IsNaN(r.At(1, 1)) {
+		t.Fatal("expected NaN for non-positive cells")
+	}
+	if _, err := RatioMap(a, NewGrid2D(3, 2, geom.Vec2{}, 1)); err == nil {
+		t.Fatal("mismatched shapes must error")
+	}
+}
+
+func TestL1Diff(t *testing.T) {
+	a := NewGrid2D(2, 1, geom.Vec2{}, 1)
+	b := NewGrid2D(2, 1, geom.Vec2{}, 1)
+	a.Set(0, 0, 1)
+	b.Set(1, 0, 3)
+	d, err := L1Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("l1 = %v", d)
+	}
+}
+
+func TestGrid3DProjectZ(t *testing.T) {
+	g := NewGrid3D(2, 2, 3, geom.Vec3{}, 0.5)
+	// Column (1,0): values 1, 2, 3 along z -> integral (1+2+3)*0.5 = 3.
+	g.Set(1, 0, 0, 1)
+	g.Set(1, 0, 1, 2)
+	g.Set(1, 0, 2, 3)
+	p := g.ProjectZ()
+	if got := p.At(1, 0); got != 3 {
+		t.Fatalf("projected = %v, want 3", got)
+	}
+	if got := p.At(0, 1); got != 0 {
+		t.Fatalf("empty column = %v", got)
+	}
+	if g.Sum() != 6 {
+		t.Fatalf("3d sum = %v", g.Sum())
+	}
+	if c := g.Center(0, 0, 2); c != (geom.Vec3{X: 0.25, Y: 0.25, Z: 1.25}) {
+		t.Fatalf("3d center = %v", c)
+	}
+}
+
+func TestWriteCSVAndXYZ(t *testing.T) {
+	g := NewGrid2D(2, 2, geom.Vec2{}, 0.5)
+	g.Set(0, 0, 1)
+	g.Set(1, 1, 2.5)
+	var csv bytes.Buffer
+	if err := g.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if csv.String() != "1,0\n0,2.5\n" {
+		t.Fatalf("csv = %q", csv.String())
+	}
+	var xyz bytes.Buffer
+	if err := g.WriteXYZ(&xyz); err != nil {
+		t.Fatal(err)
+	}
+	want := "0.25,0.25,1\n0.75,0.25,0\n0.25,0.75,0\n0.75,0.75,2.5\n"
+	if xyz.String() != want {
+		t.Fatalf("xyz = %q", xyz.String())
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	g := NewGrid2D(3, 2, geom.Vec2{}, 1)
+	g.Set(0, 0, 1)
+	g.Set(2, 1, 1000)
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n3 2\n255\n")) {
+		t.Fatalf("bad header: %q", out[:12])
+	}
+	if len(out) != len("P5\n3 2\n255\n")+6 {
+		t.Fatalf("bad payload size %d", len(out))
+	}
+	// All-zero grid must not divide by zero.
+	var buf2 bytes.Buffer
+	if err := NewGrid2D(2, 2, geom.Vec2{}, 1).WritePGM(&buf2, true); err != nil {
+		t.Fatal(err)
+	}
+}

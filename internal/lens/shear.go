@@ -1,0 +1,59 @@
+package lens
+
+import (
+	"errors"
+
+	"godtfe/internal/fft"
+	"godtfe/internal/grid"
+)
+
+// Shear computes the two weak-lensing shear components from a convergence
+// map, spectrally:
+//
+//	γ₁ = ½(ψ_xx − ψ_yy),  γ₂ = ψ_xy,  with ∇²ψ = 2κ,
+//
+// i.e. γ₁(k) = −(k_x²−k_y²)/k² κ(k), γ₂(k) = −2 k_x k_y/k² κ(k).
+func Shear(kappa *grid.Grid2D) (g1, g2 *grid.Grid2D, err error) {
+	nx, ny := kappa.Nx, kappa.Ny
+	if !fft.IsPow2(nx) || !fft.IsPow2(ny) {
+		return nil, nil, errors.New("lens: grid dimensions must be powers of two")
+	}
+	a := make([]complex128, nx*ny)
+	for i, v := range kappa.Data {
+		a[i] = complex(v, 0)
+	}
+	if err := fft.FFT2D(a, nx, ny, false); err != nil {
+		return nil, nil, err
+	}
+	s1 := make([]complex128, nx*ny)
+	s2 := make([]complex128, nx*ny)
+	d := kappa.Cell
+	for y := 0; y < ny; y++ {
+		ky := fft.Wavenumber(y, ny, d)
+		for x := 0; x < nx; x++ {
+			kx := fft.Wavenumber(x, nx, d)
+			k2 := kx*kx + ky*ky
+			idx := y*nx + x
+			if k2 == 0 {
+				continue
+			}
+			// ψ(k) = -2κ(k)/k²; γ₁ = ½(∂xx-∂yy)ψ → ½(-kx²+ky²)ψ(k)
+			psi := a[idx] * complex(-2/k2, 0)
+			s1[idx] = psi * complex(-(kx*kx-ky*ky)/2, 0)
+			s2[idx] = psi * complex(-kx*ky, 0)
+		}
+	}
+	if err := fft.FFT2D(s1, nx, ny, true); err != nil {
+		return nil, nil, err
+	}
+	if err := fft.FFT2D(s2, nx, ny, true); err != nil {
+		return nil, nil, err
+	}
+	g1 = grid.NewGrid2D(nx, ny, kappa.Min, kappa.Cell)
+	g2 = grid.NewGrid2D(nx, ny, kappa.Min, kappa.Cell)
+	for i := range g1.Data {
+		g1.Data[i] = real(s1[i])
+		g2.Data[i] = real(s2[i])
+	}
+	return g1, g2, nil
+}

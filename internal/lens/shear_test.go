@@ -1,0 +1,96 @@
+package lens
+
+import (
+	"math"
+	"testing"
+
+	"godtfe/internal/geom"
+	"godtfe/internal/grid"
+)
+
+func TestShearSingleModeAlongX(t *testing.T) {
+	// κ = cos(k x): ψ = -2cos/k², γ₁ = ½ψ_xx = κ, γ₂ = 0.
+	const n = 64
+	g := grid.NewGrid2D(n, n, geom.Vec2{}, 1.0/n)
+	k := 2 * math.Pi * 4
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			g.Set(i, j, math.Cos(k*g.Center(i, j).X))
+		}
+	}
+	g1, g2, err := Shear(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j += 5 {
+		for i := 0; i < n; i += 3 {
+			if math.Abs(g1.At(i, j)-g.At(i, j)) > 1e-10 {
+				t.Fatalf("gamma1(%d,%d) = %v, want kappa %v", i, j, g1.At(i, j), g.At(i, j))
+			}
+			if math.Abs(g2.At(i, j)) > 1e-10 {
+				t.Fatalf("gamma2(%d,%d) = %v, want 0", i, j, g2.At(i, j))
+			}
+		}
+	}
+}
+
+func TestShearSingleModeDiagonal(t *testing.T) {
+	// κ = cos(k(x+y)): the shear rotates entirely into γ₂ = κ, γ₁ = 0.
+	const n = 64
+	g := grid.NewGrid2D(n, n, geom.Vec2{}, 1.0/n)
+	k := 2 * math.Pi * 3
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			c := g.Center(i, j)
+			g.Set(i, j, math.Cos(k*(c.X+c.Y)))
+		}
+	}
+	g1, g2, err := Shear(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j += 7 {
+		for i := 0; i < n; i += 5 {
+			if math.Abs(g1.At(i, j)) > 1e-10 {
+				t.Fatalf("gamma1 = %v, want 0", g1.At(i, j))
+			}
+			if math.Abs(g2.At(i, j)-g.At(i, j)) > 1e-10 {
+				t.Fatalf("gamma2 = %v, want %v", g2.At(i, j), g.At(i, j))
+			}
+		}
+	}
+}
+
+func TestShearMagnitudeEqualsKappaForPureModes(t *testing.T) {
+	// For any single Fourier mode |γ| = |κ| pointwise in amplitude:
+	// check a skewed mode via the max amplitudes.
+	const n = 64
+	g := grid.NewGrid2D(n, n, geom.Vec2{}, 1.0/n)
+	kx := 2 * math.Pi * 5
+	ky := 2 * math.Pi * 2
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			c := g.Center(i, j)
+			g.Set(i, j, math.Cos(kx*c.X+ky*c.Y))
+		}
+	}
+	g1, g2, err := Shear(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxGamma, maxKappa float64
+	for i := range g.Data {
+		gm := math.Hypot(g1.Data[i], g2.Data[i])
+		maxGamma = math.Max(maxGamma, gm)
+		maxKappa = math.Max(maxKappa, math.Abs(g.Data[i]))
+	}
+	if math.Abs(maxGamma-maxKappa) > 1e-9 {
+		t.Fatalf("|gamma| max %v vs |kappa| max %v", maxGamma, maxKappa)
+	}
+}
+
+func TestShearRejectsNonPow2(t *testing.T) {
+	if _, _, err := Shear(grid.NewGrid2D(10, 10, geom.Vec2{}, 1)); err == nil {
+		t.Fatal("non-pow2 accepted")
+	}
+}

@@ -1,0 +1,357 @@
+// Package mpi is an in-process message-passing runtime with MPI-flavored
+// semantics: a fixed-size world of ranks (goroutines), blocking tagged
+// point-to-point Send/Recv matched by (source, tag), and the collectives
+// the paper's framework uses (Barrier, Bcast, Allgather, Allreduce,
+// Alltoall). Payloads are gob-encoded, which both enforces value semantics
+// (no accidental sharing across "processes") and lets the runtime account
+// for communication volume the way a real interconnect would.
+//
+// It substitutes for MPI on Cooley/Mira in the paper's distributed
+// framework; the framework code is structured exactly as the MPI program
+// would be.
+package mpi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// AnySource matches messages from any rank in Recv.
+const AnySource = -1
+
+// internal tag namespace for collectives; user tags must be >= 0.
+const (
+	tagBarrier = -(1 + iota)
+	tagBcast
+	tagGather
+	tagAllgather
+	tagAlltoall
+	tagReduce
+)
+
+type envelope struct {
+	src  int
+	tag  int
+	data []byte
+}
+
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []envelope
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(e envelope) {
+	m.mu.Lock()
+	m.queue = append(m.queue, e)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take blocks until a message matching (src, tag) is available and removes
+// it. src may be AnySource.
+func (m *mailbox) take(src, tag int) envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, e := range m.queue {
+			if (src == AnySource || e.src == src) && e.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return e
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// World is a communicator universe created by NewWorld.
+type World struct {
+	size      int
+	boxes     []*mailbox
+	bytesSent []atomic.Int64
+	msgsSent  []atomic.Int64
+	collSeq   []int64 // per-rank collective sequence numbers
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) *World {
+	w := &World{
+		size:      size,
+		boxes:     make([]*mailbox, size),
+		bytesSent: make([]atomic.Int64, size),
+		msgsSent:  make([]atomic.Int64, size),
+		collSeq:   make([]int64, size),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Comm returns the communicator for a rank.
+func (w *World) Comm(rank int) *Comm { return &Comm{world: w, rank: rank} }
+
+// Run executes f concurrently on every rank of a fresh world of the given
+// size and waits for all to finish, returning the first error.
+func Run(size int, f func(c *Comm) error) error {
+	w := NewWorld(size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = f(w.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// BytesSent returns the total bytes this rank has sent so far.
+func (c *Comm) BytesSent() int64 { return c.world.bytesSent[c.rank].Load() }
+
+// TotalBytes returns the bytes sent across all ranks.
+func (w *World) TotalBytes() int64 {
+	var t int64
+	for i := range w.bytesSent {
+		t += w.bytesSent[i].Load()
+	}
+	return t
+}
+
+// TotalMessages returns the number of messages sent across all ranks.
+func (w *World) TotalMessages() int64 {
+	var t int64
+	for i := range w.msgsSent {
+		t += w.msgsSent[i].Load()
+	}
+	return t
+}
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+func (c *Comm) sendRaw(dst, tag int, data []byte) {
+	c.world.bytesSent[c.rank].Add(int64(len(data)))
+	c.world.msgsSent[c.rank].Add(1)
+	c.world.boxes[dst].put(envelope{src: c.rank, tag: tag, data: data})
+}
+
+// Send gob-encodes v and delivers it to rank dst with the given tag
+// (tag >= 0). It does not block on the receiver (buffered semantics).
+func (c *Comm) Send(dst, tag int, v any) error {
+	if tag < 0 {
+		return fmt.Errorf("mpi: user tags must be >= 0, got %d", tag)
+	}
+	if dst < 0 || dst >= c.world.size {
+		return fmt.Errorf("mpi: invalid destination rank %d", dst)
+	}
+	data, err := encode(v)
+	if err != nil {
+		return err
+	}
+	c.sendRaw(dst, tag, data)
+	return nil
+}
+
+// Recv blocks until a message with the given source (or AnySource) and tag
+// arrives, decodes it into v (a pointer), and returns the actual source.
+func (c *Comm) Recv(src, tag int, v any) (int, error) {
+	if tag < 0 {
+		return 0, fmt.Errorf("mpi: user tags must be >= 0, got %d", tag)
+	}
+	e := c.world.boxes[c.rank].take(src, tag)
+	if err := decode(e.data, v); err != nil {
+		return e.src, err
+	}
+	return e.src, nil
+}
+
+// nextCollTag returns a fresh internal tag for a collective; each rank
+// calls collectives in the same order (SPMD), so sequence numbers line up.
+func (c *Comm) nextCollTag(base int) int {
+	seq := c.world.collSeq[c.rank]
+	c.world.collSeq[c.rank]++
+	// Fold the sequence into the tag space below `base` (all negative).
+	return base - 8*int(seq)
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	tag := c.nextCollTag(tagBarrier)
+	// Dissemination-free simple barrier: gather-to-0 then broadcast.
+	if c.rank == 0 {
+		for i := 1; i < c.world.size; i++ {
+			c.world.boxes[0].take(AnySource, tag)
+		}
+		for i := 1; i < c.world.size; i++ {
+			c.sendRaw(i, tag, nil)
+		}
+	} else {
+		c.sendRaw(0, tag, nil)
+		c.world.boxes[c.rank].take(0, tag)
+	}
+}
+
+// Bcast broadcasts *v from root to all ranks (v must be a pointer; on
+// non-root ranks it is overwritten).
+func (c *Comm) Bcast(root int, v any) error {
+	tag := c.nextCollTag(tagBcast)
+	if c.rank == root {
+		data, err := encode(v)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < c.world.size; i++ {
+			if i != root {
+				c.sendRaw(i, tag, data)
+			}
+		}
+		return nil
+	}
+	e := c.world.boxes[c.rank].take(root, tag)
+	return decode(e.data, v)
+}
+
+// Allgather collects one value from every rank and returns the full slice
+// (indexed by rank) on every rank. Implemented as gather-to-0 + broadcast,
+// the way the paper uses MPI_Allgather for timing exchange.
+func Allgather[T any](c *Comm, v T) ([]T, error) {
+	tag := c.nextCollTag(tagAllgather)
+	w := c.world
+	if c.rank == 0 {
+		out := make([]T, w.size)
+		out[0] = v
+		for i := 1; i < w.size; i++ {
+			e := w.boxes[0].take(AnySource, tag)
+			var tv T
+			if err := decode(e.data, &tv); err != nil {
+				return nil, err
+			}
+			out[e.src] = tv
+		}
+		data, err := encode(out)
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i < w.size; i++ {
+			c.sendRaw(i, tag-1, data)
+		}
+		return out, nil
+	}
+	data, err := encode(v)
+	if err != nil {
+		return nil, err
+	}
+	c.sendRaw(0, tag, data)
+	e := w.boxes[c.rank].take(0, tag-1)
+	var out []T
+	if err := decode(e.data, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Gather collects one value from every rank at root; non-root ranks
+// receive nil.
+func Gather[T any](c *Comm, root int, v T) ([]T, error) {
+	tag := c.nextCollTag(tagGather)
+	if c.rank == root {
+		out := make([]T, c.world.size)
+		out[root] = v
+		for i := 0; i < c.world.size-1; i++ {
+			e := c.world.boxes[root].take(AnySource, tag)
+			if err := decode(e.data, &out[e.src]); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	data, err := encode(v)
+	if err != nil {
+		return nil, err
+	}
+	c.sendRaw(root, tag, data)
+	return nil, nil
+}
+
+// AllreduceFloat64 returns the elementwise reduction of v across all
+// ranks.
+func AllreduceFloat64(c *Comm, v []float64, op func(a, b float64) float64) ([]float64, error) {
+	all, err := Allgather(c, v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(v))
+	copy(out, all[0])
+	for r := 1; r < len(all); r++ {
+		for i := range out {
+			out[i] = op(out[i], all[r][i])
+		}
+	}
+	return out, nil
+}
+
+// Alltoall delivers send[i] to rank i and returns the values received from
+// every rank (indexed by source). send must have length Size().
+func Alltoall[T any](c *Comm, send []T) ([]T, error) {
+	if len(send) != c.world.size {
+		return nil, fmt.Errorf("mpi: alltoall send length %d != size %d", len(send), c.world.size)
+	}
+	tag := c.nextCollTag(tagAlltoall)
+	for dst := 0; dst < c.world.size; dst++ {
+		if dst == c.rank {
+			continue
+		}
+		data, err := encode(send[dst])
+		if err != nil {
+			return nil, err
+		}
+		c.sendRaw(dst, tag, data)
+	}
+	out := make([]T, c.world.size)
+	out[c.rank] = send[c.rank]
+	for i := 0; i < c.world.size-1; i++ {
+		e := c.world.boxes[c.rank].take(AnySource, tag)
+		if err := decode(e.data, &out[e.src]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

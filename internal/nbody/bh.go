@@ -1,0 +1,355 @@
+package nbody
+
+import (
+	"errors"
+	"math"
+
+	"godtfe/internal/geom"
+)
+
+// BHTree is a Barnes-Hut octree over a particle set: each node stores its
+// total mass and center of mass, and a force evaluation walks the tree,
+// replacing distant cells by their monopole when cellSize/distance < θ.
+// It complements the periodic PM solver with an isolated-boundary gravity
+// model (cold-collapse setups, single objects).
+type BHTree struct {
+	pts    []geom.Vec3
+	masses []float64
+	nodes  []bhNode
+	// overflow holds particles exactly coincident with a leaf's particle
+	// (or beyond the depth cap); they contribute to node masses during
+	// accumulation.
+	overflow []overflowPoint
+}
+
+type bhNode struct {
+	center   geom.Vec3
+	half     float64
+	mass     float64
+	com      geom.Vec3
+	children [8]int32 // -1 = none
+	point    int32    // leaf particle index, -1 if internal/empty
+	leaf     bool
+}
+
+// NewBHTree builds the octree. masses may be nil (unit masses).
+func NewBHTree(pts []geom.Vec3, masses []float64) (*BHTree, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("nbody: empty point set")
+	}
+	if masses != nil && len(masses) != len(pts) {
+		return nil, errors.New("nbody: masses length mismatch")
+	}
+	box := geom.BoundsOf(pts)
+	c := box.Center()
+	sz := box.Size()
+	half := math.Max(sz.X, math.Max(sz.Y, sz.Z))/2 + 1e-12
+	t := &BHTree{pts: pts, masses: masses}
+	root := t.newNode(c, half)
+	for i := range pts {
+		t.insert(root, int32(i), 0)
+	}
+	// Overflow entries may reference leaves that later split; re-resolve
+	// each to the final leaf containing its coordinates.
+	for k := range t.overflow {
+		t.overflow[k].node = t.leafAt(t.pts[t.overflow[k].point])
+	}
+	t.accumulate(root)
+	return t, nil
+}
+
+// leafAt descends to the live leaf containing p.
+func (t *BHTree) leafAt(p geom.Vec3) int32 {
+	ni := int32(0)
+	for !t.nodes[ni].leaf {
+		n := &t.nodes[ni]
+		oct := 0
+		if p.X >= n.center.X {
+			oct |= 1
+		}
+		if p.Y >= n.center.Y {
+			oct |= 2
+		}
+		if p.Z >= n.center.Z {
+			oct |= 4
+		}
+		if n.children[oct] < 0 {
+			return ni // should not happen; attach here defensively
+		}
+		ni = n.children[oct]
+	}
+	return ni
+}
+
+func (t *BHTree) newNode(center geom.Vec3, half float64) int32 {
+	n := bhNode{center: center, half: half, point: -1, leaf: true}
+	for i := range n.children {
+		n.children[i] = -1
+	}
+	t.nodes = append(t.nodes, n)
+	return int32(len(t.nodes) - 1)
+}
+
+func (t *BHTree) massOf(i int32) float64 {
+	if t.masses == nil {
+		return 1
+	}
+	return t.masses[i]
+}
+
+const bhMaxDepth = 64
+
+func (t *BHTree) insert(ni, pi int32, depth int) {
+	n := &t.nodes[ni]
+	if n.leaf {
+		if n.point < 0 {
+			n.point = pi
+			return
+		}
+		if depth >= bhMaxDepth || t.pts[n.point] == t.pts[pi] {
+			// Coincident (or effectively so): subdivision cannot separate
+			// the particles, so record the extra one against this leaf
+			// and fold it into the node mass during accumulation.
+			t.overflow = append(t.overflow, overflowPoint{node: ni, point: pi})
+			return
+		}
+		old := n.point
+		n.point = -1
+		n.leaf = false
+		t.insertIntoChild(ni, old, depth+1)
+		t.insertIntoChild(ni, pi, depth+1)
+		return
+	}
+	t.insertIntoChild(ni, pi, depth+1)
+}
+
+type overflowPoint struct {
+	node  int32
+	point int32
+}
+
+func (t *BHTree) insertIntoChild(ni, pi int32, depth int) {
+	p := t.pts[pi]
+	n := &t.nodes[ni]
+	oct := 0
+	if p.X >= n.center.X {
+		oct |= 1
+	}
+	if p.Y >= n.center.Y {
+		oct |= 2
+	}
+	if p.Z >= n.center.Z {
+		oct |= 4
+	}
+	if n.children[oct] < 0 {
+		h := n.half / 2
+		cc := n.center
+		if oct&1 != 0 {
+			cc.X += h
+		} else {
+			cc.X -= h
+		}
+		if oct&2 != 0 {
+			cc.Y += h
+		} else {
+			cc.Y -= h
+		}
+		if oct&4 != 0 {
+			cc.Z += h
+		} else {
+			cc.Z -= h
+		}
+		child := t.newNode(cc, h)
+		t.nodes[ni].children[oct] = child
+	}
+	t.insert(t.nodes[ni].children[oct], pi, depth)
+}
+
+// accumulate fills mass and center-of-mass bottom-up.
+func (t *BHTree) accumulate(ni int32) (mass float64, com geom.Vec3) {
+	n := &t.nodes[ni]
+	if n.leaf {
+		if n.point >= 0 {
+			n.mass = t.massOf(n.point)
+			n.com = t.pts[n.point]
+		}
+		// Coincident overflow points attach to their node.
+		for _, ov := range t.overflow {
+			if ov.node == ni {
+				m := t.massOf(ov.point)
+				n.com = n.com.Scale(n.mass).Add(t.pts[ov.point].Scale(m)).Scale(1 / (n.mass + m))
+				n.mass += m
+			}
+		}
+		return n.mass, n.com
+	}
+	var msum float64
+	var csum geom.Vec3
+	for _, ch := range n.children {
+		if ch < 0 {
+			continue
+		}
+		m, c := t.accumulate(ch)
+		msum += m
+		csum = csum.Add(c.Scale(m))
+	}
+	n.mass = msum
+	if msum > 0 {
+		n.com = csum.Scale(1 / msum)
+	}
+	return n.mass, n.com
+}
+
+// Accel returns the gravitational acceleration at p with opening angle
+// theta and Plummer softening eps, excluding particle selfIdx (-1 to
+// include everything). G = 1.
+func (t *BHTree) Accel(p geom.Vec3, theta, eps float64, selfIdx int32) geom.Vec3 {
+	var acc geom.Vec3
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		n := &t.nodes[ni]
+		if n.mass == 0 {
+			return
+		}
+		if n.leaf {
+			if n.point == selfIdx && n.mass == t.massOf(n.point) {
+				return
+			}
+			d := n.com.Sub(p)
+			r2 := d.Norm2() + eps*eps
+			if r2 == 0 {
+				return
+			}
+			m := n.mass
+			if n.point == selfIdx {
+				m -= t.massOf(selfIdx) // exclude self from a heavy leaf
+			}
+			acc = acc.Add(d.Scale(m / (r2 * math.Sqrt(r2))))
+			return
+		}
+		d := n.com.Sub(p)
+		dist := d.Norm()
+		if dist > 0 && 2*n.half/dist < theta {
+			r2 := dist*dist + eps*eps
+			acc = acc.Add(d.Scale(n.mass / (r2 * math.Sqrt(r2))))
+			return
+		}
+		for _, ch := range n.children {
+			if ch >= 0 {
+				walk(ch)
+			}
+		}
+	}
+	walk(0)
+	return acc
+}
+
+// DirectAccel is the O(N) reference force sum (for tests and small N).
+func DirectAccel(pts []geom.Vec3, masses []float64, p geom.Vec3, eps float64, selfIdx int32) geom.Vec3 {
+	var acc geom.Vec3
+	for i := range pts {
+		if int32(i) == selfIdx {
+			continue
+		}
+		m := 1.0
+		if masses != nil {
+			m = masses[i]
+		}
+		d := pts[i].Sub(p)
+		r2 := d.Norm2() + eps*eps
+		if r2 == 0 {
+			continue
+		}
+		acc = acc.Add(d.Scale(m / (r2 * math.Sqrt(r2))))
+	}
+	return acc
+}
+
+// BHSim is an isolated-boundary N-body integrator using Barnes-Hut
+// forces with kick-drift-kick leapfrog.
+type BHSim struct {
+	Pos    []geom.Vec3
+	Vel    []geom.Vec3
+	Masses []float64 // nil = unit masses
+	Theta  float64   // opening angle (default 0.5)
+	Eps    float64   // Plummer softening (default 1e-3 of system size)
+}
+
+// NewBHSim wraps particle state for integration.
+func NewBHSim(pos, vel []geom.Vec3, masses []float64) (*BHSim, error) {
+	if len(pos) != len(vel) || len(pos) == 0 {
+		return nil, errors.New("nbody: pos/vel mismatch or empty")
+	}
+	diag := geom.BoundsOf(pos).Diagonal()
+	return &BHSim{Pos: pos, Vel: vel, Masses: masses, Theta: 0.5, Eps: 1e-3 * diag}, nil
+}
+
+// Accelerations evaluates BH forces for all particles.
+func (s *BHSim) Accelerations() ([]geom.Vec3, error) {
+	tree, err := NewBHTree(s.Pos, s.Masses)
+	if err != nil {
+		return nil, err
+	}
+	acc := make([]geom.Vec3, len(s.Pos))
+	for i := range s.Pos {
+		acc[i] = tree.Accel(s.Pos[i], s.Theta, s.Eps, int32(i))
+	}
+	return acc, nil
+}
+
+// Step advances by dt.
+func (s *BHSim) Step(dt float64) error {
+	acc, err := s.Accelerations()
+	if err != nil {
+		return err
+	}
+	for i := range s.Pos {
+		s.Vel[i] = s.Vel[i].Add(acc[i].Scale(dt / 2))
+		s.Pos[i] = s.Pos[i].Add(s.Vel[i].Scale(dt))
+	}
+	acc, err = s.Accelerations()
+	if err != nil {
+		return err
+	}
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Add(acc[i].Scale(dt / 2))
+	}
+	return nil
+}
+
+// Run performs n steps.
+func (s *BHSim) Run(n int, dt float64) error {
+	for i := 0; i < n; i++ {
+		if err := s.Step(dt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Energy returns kinetic and (softened, direct-sum) potential energy;
+// O(N²), intended for diagnostics at test scales.
+func (s *BHSim) Energy() (kin, pot float64) {
+	for i, v := range s.Vel {
+		m := 1.0
+		if s.Masses != nil {
+			m = s.Masses[i]
+		}
+		kin += m * v.Norm2() / 2
+	}
+	for i := 0; i < len(s.Pos); i++ {
+		mi := 1.0
+		if s.Masses != nil {
+			mi = s.Masses[i]
+		}
+		for j := i + 1; j < len(s.Pos); j++ {
+			mj := 1.0
+			if s.Masses != nil {
+				mj = s.Masses[j]
+			}
+			r := math.Sqrt(s.Pos[j].Sub(s.Pos[i]).Norm2() + s.Eps*s.Eps)
+			pot -= mi * mj / r
+		}
+	}
+	return
+}

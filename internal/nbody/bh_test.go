@@ -1,0 +1,174 @@
+package nbody
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"godtfe/internal/geom"
+)
+
+func randCloud(n int, seed int64) []geom.Vec3 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		pts[i] = geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+	}
+	return pts
+}
+
+func TestBHMatchesDirectSmallTheta(t *testing.T) {
+	pts := randCloud(300, 1)
+	tree, err := NewBHTree(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.05
+	for i := 0; i < 300; i += 17 {
+		bh := tree.Accel(pts[i], 0.0, eps, int32(i)) // theta=0: always open
+		dir := DirectAccel(pts, nil, pts[i], eps, int32(i))
+		if bh.Sub(dir).Norm() > 1e-9*(1+dir.Norm()) {
+			t.Fatalf("theta=0 mismatch at %d: %v vs %v", i, bh, dir)
+		}
+	}
+}
+
+func TestBHAccuracyModerateTheta(t *testing.T) {
+	pts := randCloud(2000, 2)
+	tree, err := NewBHTree(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.05
+	var relErr, n float64
+	for i := 0; i < 2000; i += 37 {
+		bh := tree.Accel(pts[i], 0.4, eps, int32(i))
+		dir := DirectAccel(pts, nil, pts[i], eps, int32(i))
+		relErr += bh.Sub(dir).Norm() / (dir.Norm() + 1e-12)
+		n++
+	}
+	if avg := relErr / n; avg > 0.02 {
+		t.Fatalf("theta=0.4 mean relative force error %v", avg)
+	}
+}
+
+func TestBHMasses(t *testing.T) {
+	// One heavy particle dominates: acceleration at a test point points
+	// toward it with magnitude ~ M/r².
+	pts := []geom.Vec3{{X: 1, Y: 0, Z: 0}, {X: -5, Y: 0, Z: 0}}
+	masses := []float64{100, 0.001}
+	tree, err := NewBHTree(pts, masses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tree.Accel(geom.Vec3{}, 0.5, 0, -1)
+	if math.Abs(a.X-100+0.001/25) > 1e-9 {
+		t.Fatalf("a.X = %v", a.X)
+	}
+}
+
+func TestBHCoincidentPoints(t *testing.T) {
+	// Exactly coincident particles must not loop forever and must carry
+	// their combined mass.
+	pts := []geom.Vec3{{X: 0, Y: 0, Z: 0}, {X: 0, Y: 0, Z: 0}, {X: 0, Y: 0, Z: 0}, {X: 2, Y: 0, Z: 0}}
+	tree, err := NewBHTree(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tree.Accel(geom.Vec3{X: 1, Y: 0, Z: 0}, 0.0, 0, -1)
+	// 3 units of mass at distance 1 pulling -x, 1 unit at distance 1
+	// pulling +x.
+	if math.Abs(a.X-(-3+1)) > 1e-9 {
+		t.Fatalf("a.X = %v, want -2", a.X)
+	}
+}
+
+func TestBHTwoBodyCircularOrbit(t *testing.T) {
+	// Equal masses m=1 at ±0.5 on x, circular orbit: r=1, a = 1/r² = 1
+	// toward the partner; centripetal v²/R = a with R = 0.5 → v = √0.5.
+	v := math.Sqrt(0.5)
+	sim, err := NewBHSim(
+		[]geom.Vec3{{X: -0.5}, {X: 0.5}},
+		[]geom.Vec3{{Y: -v}, {Y: v}},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Eps = 0 // exact two-body
+	// Orbit period T = 2πR/v ≈ 4.443; integrate one period.
+	const steps = 2000
+	dt := 2 * math.Pi * 0.5 / v / steps
+	k0, p0 := sim.Energy()
+	if err := sim.Run(steps, dt); err != nil {
+		t.Fatal(err)
+	}
+	k1, p1 := sim.Energy()
+	if math.Abs((k1+p1)-(k0+p0)) > 1e-3*math.Abs(k0+p0) {
+		t.Fatalf("energy drifted: %v -> %v", k0+p0, k1+p1)
+	}
+	// Separation stays ~1 on a circular orbit.
+	sep := sim.Pos[1].Sub(sim.Pos[0]).Norm()
+	if math.Abs(sep-1) > 0.01 {
+		t.Fatalf("separation after one period = %v", sep)
+	}
+}
+
+func TestBHColdCollapse(t *testing.T) {
+	// A cold uniform sphere collapses: the RMS radius shrinks.
+	rng := rand.New(rand.NewSource(3))
+	var pos []geom.Vec3
+	for len(pos) < 400 {
+		p := geom.Vec3{X: rng.Float64()*2 - 1, Y: rng.Float64()*2 - 1, Z: rng.Float64()*2 - 1}
+		if p.Norm() <= 1 {
+			pos = append(pos, p)
+		}
+	}
+	vel := make([]geom.Vec3, len(pos))
+	sim, err := NewBHSim(pos, vel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Softening at the interparticle spacing suppresses two-body
+	// scattering so the collective collapse dominates.
+	sim.Eps = 0.15
+	rms := func() float64 {
+		var s float64
+		for _, p := range sim.Pos {
+			s += p.Norm2()
+		}
+		return math.Sqrt(s / float64(len(sim.Pos)))
+	}
+	r0 := rms()
+	// Dynamical time ~ 1/sqrt(G rho) with M=400, R=1: rho ~ 95 → t ~ 0.1.
+	if err := sim.Run(30, 0.003); err != nil {
+		t.Fatal(err)
+	}
+	if r1 := rms(); r1 > 0.95*r0 {
+		t.Fatalf("no collapse: rms %v -> %v", r0, r1)
+	}
+}
+
+func TestBHValidation(t *testing.T) {
+	if _, err := NewBHTree(nil, nil); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+	if _, err := NewBHTree(randCloud(3, 4), []float64{1}); err == nil {
+		t.Fatal("mass mismatch accepted")
+	}
+	if _, err := NewBHSim(randCloud(3, 5), make([]geom.Vec3, 2), nil); err == nil {
+		t.Fatal("pos/vel mismatch accepted")
+	}
+}
+
+func BenchmarkBHAccel10k(b *testing.B) {
+	pts := randCloud(10000, 6)
+	tree, err := NewBHTree(pts, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Accel(pts[i%len(pts)], 0.5, 0.01, int32(i%len(pts)))
+	}
+}

@@ -1,0 +1,219 @@
+package nbody
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"godtfe/internal/geom"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Mesh: 12, Particles: 4, Box: 1}); err == nil {
+		t.Fatal("non-pow2 mesh accepted")
+	}
+	if _, err := New(Config{Mesh: 16, Particles: 0, Box: 1}); err == nil {
+		t.Fatal("zero particles accepted")
+	}
+	if _, err := New(Config{Mesh: 16, Particles: 4, Box: 0}); err == nil {
+		t.Fatal("zero box accepted")
+	}
+}
+
+func TestICsInBoxAndPerturbed(t *testing.T) {
+	s, err := New(Config{Mesh: 16, Particles: 8, Box: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Pos) != 512 {
+		t.Fatalf("particles = %d", len(s.Pos))
+	}
+	var disp float64
+	for i, p := range s.Pos {
+		if p.X < 0 || p.X >= 10 || p.Y < 0 || p.Y >= 10 || p.Z < 0 || p.Z >= 10 {
+			t.Fatalf("particle %d outside box: %v", i, p)
+		}
+		disp += s.Vel[i].Norm()
+	}
+	if disp == 0 {
+		t.Fatal("Zel'dovich ICs should perturb velocities")
+	}
+}
+
+func TestUniformLatticeHasNoForce(t *testing.T) {
+	// An unperturbed lattice is a uniform density field: accelerations
+	// must vanish (k=0 mode removed).
+	s, err := New(Config{Mesh: 16, Particles: 16, Box: 1, Amplitude: 1e-12, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := s.Accelerations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxa float64
+	for _, a := range acc {
+		maxa = math.Max(maxa, a.Norm())
+	}
+	if maxa > 1e-6 {
+		t.Fatalf("uniform lattice max acceleration %v", maxa)
+	}
+}
+
+func TestTwoBodyAttraction(t *testing.T) {
+	// Two clumps attract each other: accelerations point roughly toward
+	// the other clump.
+	s, err := New(Config{Mesh: 32, Particles: 2, Box: 1, Amplitude: 1e-12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the particles with two points separated along x.
+	s.Pos = []geom.Vec3{{X: 0.4, Y: 0.5, Z: 0.5}, {X: 0.6, Y: 0.5, Z: 0.5}}
+	s.Vel = make([]geom.Vec3, 2)
+	acc, err := s.Accelerations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc[0].X <= 0 || acc[1].X >= 0 {
+		t.Fatalf("clumps do not attract: a0=%v a1=%v", acc[0], acc[1])
+	}
+	// Symmetry: |a0| ~ |a1|.
+	if math.Abs(acc[0].Norm()-acc[1].Norm()) > 0.05*acc[0].Norm() {
+		t.Fatalf("asymmetric forces: %v vs %v", acc[0].Norm(), acc[1].Norm())
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	s, err := New(Config{Mesh: 16, Particles: 8, Box: 1, Amplitude: 0.5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := s.Momentum()
+	if err := s.Run(5, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	p1 := s.Momentum()
+	if p1.Sub(p0).Norm() > 1e-6*(1+p0.Norm()) {
+		t.Fatalf("momentum drifted: %v -> %v", p0, p1)
+	}
+}
+
+func TestEvolutionIncreasesClustering(t *testing.T) {
+	s, err := New(Config{Mesh: 32, Particles: 16, Box: 1, Amplitude: 0.8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func() float64 {
+		const cells = 4
+		counts := make([]float64, cells*cells*cells)
+		for _, p := range s.Pos {
+			cx := int(p.X * cells)
+			cy := int(p.Y * cells)
+			cz := int(p.Z * cells)
+			if cx >= cells {
+				cx = cells - 1
+			}
+			if cy >= cells {
+				cy = cells - 1
+			}
+			if cz >= cells {
+				cz = cells - 1
+			}
+			counts[(cz*cells+cy)*cells+cx]++
+		}
+		mean := float64(len(s.Pos)) / float64(len(counts))
+		var v float64
+		for _, c := range counts {
+			d := c - mean
+			v += d * d
+		}
+		return v / float64(len(counts)) / mean
+	}
+	before := score()
+	if err := s.Run(20, 0.08); err != nil {
+		t.Fatal(err)
+	}
+	after := score()
+	if after < before*1.5 {
+		t.Fatalf("clustering did not grow: %v -> %v", before, after)
+	}
+	// Particles stay in the box.
+	for _, p := range s.Pos {
+		if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 || p.Z < 0 || p.Z >= 1 {
+			t.Fatalf("particle escaped: %v", p)
+		}
+	}
+}
+
+func BenchmarkPMStep16k(b *testing.B) {
+	s, err := New(Config{Mesh: 32, Particles: 25, Box: 1, Seed: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPowerSpectrumUniformIsShotNoise(t *testing.T) {
+	// Poisson points have flat P(k) = V/N (shot noise), up to the CIC
+	// window suppression at high k: check the low-k shells.
+	rng := rand.New(rand.NewSource(7))
+	const n = 40000
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		pts[i] = geom.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	ks, power, err := PowerSpectrum(pts, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) < 8 {
+		t.Fatalf("too few shells: %d", len(ks))
+	}
+	want := 1.0 / n // V/N with V=1
+	for b := 0; b < 5; b++ {
+		if power[b] < 0.3*want || power[b] > 3*want {
+			t.Fatalf("shell %d (k=%.1f): P=%.3g, want ~%.3g (shot noise)", b, ks[b], power[b], want)
+		}
+	}
+}
+
+func TestPowerSpectrumGrowsUnderGravity(t *testing.T) {
+	sim, err := New(Config{Mesh: 32, Particles: 20, Box: 1, Amplitude: 0.6, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p0, err := PowerSpectrum(sim.Pos, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(15, 0.08); err != nil {
+		t.Fatal(err)
+	}
+	_, p1, err := PowerSpectrum(sim.Pos, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large-scale power (first shells) must be amplified by collapse.
+	var g0, g1 float64
+	for b := 0; b < 4; b++ {
+		g0 += p0[b]
+		g1 += p1[b]
+	}
+	if g1 < 1.5*g0 {
+		t.Fatalf("large-scale power did not grow: %v -> %v", g0, g1)
+	}
+}
+
+func TestPowerSpectrumValidation(t *testing.T) {
+	if _, _, err := PowerSpectrum(nil, 1, 32); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, _, err := PowerSpectrum(randCloud(10, 1), 1, 12); err == nil {
+		t.Fatal("non-pow2 mesh accepted")
+	}
+}

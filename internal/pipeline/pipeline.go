@@ -1,0 +1,442 @@
+// Package pipeline is the paper's distributed-memory framework (Section
+// IV): given particles spread arbitrarily over ranks and a set of field
+// centers, it runs the four phases
+//
+//  1. data partitioning and redistribution (uniform sub-volumes + ghost
+//     zones sized so every field is computable locally),
+//  2. workload modeling (count particles per work item, time one random
+//     item, Allgather, fit f_tri = c·n·log2 n and f_interp = α·n^β),
+//  3. work-sharing scheduling (CreateCommunicationList + first-fit
+//     variable-size bin packing of local items around send points), and
+//  4. execution and communication (receivers drain local work then take
+//     shipped work; senders interleave computing with sends),
+//
+// and reports per-phase wall times, per-item measurements, and (optionally)
+// the rendered fields.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/domain"
+	"godtfe/internal/dtfe"
+	"godtfe/internal/geom"
+	"godtfe/internal/grid"
+	"godtfe/internal/kdtree"
+	"godtfe/internal/model"
+	"godtfe/internal/mpi"
+	"godtfe/internal/render"
+	"godtfe/internal/sched"
+)
+
+const tagWork = 100
+
+// Config configures a pipeline run.
+type Config struct {
+	// Box is the full simulation volume.
+	Box geom.AABB
+	// FieldLen is the physical edge length of each (cubic) field
+	// sub-volume; the output grid covers FieldLen × FieldLen and the
+	// integration runs over the same z extent.
+	FieldLen float64
+	// GridN is the output grid resolution per field (GridN×GridN).
+	GridN int
+	// BufferFrac pads the triangulation cube beyond the field volume on
+	// each side (fraction of FieldLen) so hull-boundary bias stays outside
+	// the rendered region. Default 0.25.
+	BufferFrac float64
+	// Workers is the shared-memory worker count for each render. Default 1.
+	Workers int
+	// Periodic wraps ghost zones across the box faces, so fields near the
+	// box boundary see the full periodic neighborhood (cosmological
+	// convention).
+	Periodic bool
+	// LoadBalance enables phases 3's work sharing.
+	LoadBalance bool
+	// KeepFields retains rendered grids in the result.
+	KeepFields bool
+	// MinParticles below which an item renders as an empty field (the
+	// triangulation needs at least 4 independent points to mean anything).
+	// Default 16.
+	MinParticles int
+	// Seed drives the random test-item choice.
+	Seed int64
+}
+
+func (c *Config) fill() error {
+	if c.FieldLen <= 0 || c.GridN <= 0 {
+		return errors.New("pipeline: FieldLen and GridN must be positive")
+	}
+	if c.BufferFrac == 0 {
+		c.BufferFrac = 0.25
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MinParticles <= 0 {
+		c.MinParticles = 16
+	}
+	return nil
+}
+
+// triCubeSide is the particle-gathering cube edge for one item.
+func (c *Config) triCubeSide() float64 { return c.FieldLen * (1 + 2*c.BufferFrac) }
+
+// PhaseTimes are per-phase wall-clock seconds, the paper's Fig 9/12/13
+// breakdown.
+type PhaseTimes struct {
+	Partition   float64
+	Model       float64
+	Triangulate float64
+	Render      float64
+	WorkShare   float64
+	Total       float64
+}
+
+// Add accumulates other into p.
+func (p *PhaseTimes) Add(other PhaseTimes) {
+	p.Partition += other.Partition
+	p.Model += other.Model
+	p.Triangulate += other.Triangulate
+	p.Render += other.Render
+	p.WorkShare += other.WorkShare
+	p.Total += other.Total
+}
+
+// ItemRecord is one executed work item.
+type ItemRecord struct {
+	Center     geom.Vec3
+	N          int     // particles in the triangulation cube
+	TriTime    float64 // seconds
+	RenderTime float64
+	PredTri    float64 // model predictions (0 when modeling was off)
+	PredRender float64
+	Shipped    bool // executed on a rank other than its owner
+}
+
+// Field is one rendered surface-density grid.
+type Field struct {
+	Center geom.Vec3
+	Grid   *grid.Grid2D
+}
+
+// Result is one rank's outcome.
+type Result struct {
+	Rank      int
+	Phases    PhaseTimes
+	Items     []ItemRecord
+	Fields    []Field
+	Model     model.WorkModel
+	ModelOK   bool
+	Sent      int   // work items shipped away
+	Received  int   // work items received
+	LocalWork int   // items owned by this rank
+	CommBytes int64 // bytes this rank sent (partition + sharing)
+}
+
+// Run executes the framework on this rank. localParticles is this rank's
+// arbitrary initial share of the dataset (e.g. its file blocks); centers
+// must be non-nil on rank 0 (it is broadcast, matching the paper's
+// single-reader + broadcast input path).
+func Run(c *mpi.Comm, cfg Config, localParticles []geom.Vec3, centers []geom.Vec3) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	res := &Result{Rank: c.Rank()}
+	t0 := time.Now()
+
+	// ---- Phase 1: partition & redistribution -------------------------
+	ghost := cfg.triCubeSide() / 2
+	dec, err := domain.NewDecomp(cfg.Box, c.Size(), ghost)
+	if err != nil {
+		return nil, err
+	}
+	dec.Periodic = cfg.Periodic
+	owned, ghosts, err := domain.Exchange(c, dec, localParticles)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Bcast(0, &centers); err != nil {
+		return nil, err
+	}
+	sub := dec.SubVolume(c.Rank())
+	var local []geom.Vec3
+	for _, ctr := range centers {
+		if dec.OwnerOf(ctr) == c.Rank() && sub.Contains(ctr) {
+			local = append(local, ctr)
+		}
+	}
+	res.LocalWork = len(local)
+	halo := make([]geom.Vec3, 0, len(owned)+len(ghosts))
+	halo = append(halo, owned...)
+	halo = append(halo, ghosts...)
+	tree := kdtree.New(halo)
+	res.Phases.Partition = time.Since(t0).Seconds()
+
+	rt := &runtime{c: c, cfg: cfg, tree: tree, halo: halo, res: res}
+
+	// ---- Phase 2: workload modeling -----------------------------------
+	tm := time.Now()
+	counts := make([]int, len(local))
+	for i, ctr := range local {
+		counts[i] = tree.CountInBox(rt.cube(ctr))
+	}
+	type sample struct{ N, TTri, TRender float64 }
+	var mine sample
+	done := make([]bool, len(local))
+	if len(local) > 0 {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(c.Rank())))
+		pick := rng.Intn(len(local))
+		rec := rt.computeItem(local[pick], nil, false)
+		done[pick] = true
+		mine = sample{N: float64(rec.N), TTri: rec.TriTime, TRender: rec.RenderTime}
+	}
+	samples, err := mpi.Allgather(c, mine)
+	if err != nil {
+		return nil, err
+	}
+	var ns, tts, trs []float64
+	for _, s := range samples {
+		if s.N > 0 {
+			ns = append(ns, s.N)
+			tts = append(tts, s.TTri)
+			trs = append(trs, s.TRender)
+		}
+	}
+	wm, ferr := model.Fit(ns, tts, trs)
+	res.ModelOK = ferr == nil
+	if ferr != nil {
+		// Fall back to a proportional model so every rank agrees.
+		wm = fallbackModel(ns, tts, trs)
+	}
+	res.Model = wm
+	pred := make([]float64, len(local))
+	var remaining float64
+	for i := range local {
+		pred[i] = wm.Predict(float64(counts[i]))
+		if !done[i] {
+			remaining += pred[i]
+		}
+	}
+	res.Phases.Model = time.Since(tm).Seconds()
+
+	// ---- Phase 3: work-sharing schedule --------------------------------
+	var cl sched.CommList
+	var plan sched.SenderPlan
+	var pending []int // local item indices still to run (non-LB order)
+	for i := range local {
+		if !done[i] {
+			pending = append(pending, i)
+		}
+	}
+	if cfg.LoadBalance && c.Size() > 1 {
+		ts := time.Now()
+		totals, err := mpi.Allgather(c, remaining)
+		if err != nil {
+			return nil, err
+		}
+		cl = sched.CreateCommunicationList(totals)
+		sends := cl.SendsFrom(c.Rank())
+		if len(sends) > 0 {
+			itemTimes := make([]float64, len(pending))
+			for k, i := range pending {
+				itemTimes[k] = pred[i]
+			}
+			avail := make([]float64, len(sends))
+			for k, tr := range sends {
+				avail[k] = totals[tr.To]
+			}
+			plan = sched.PlanSender(itemTimes, sends, avail)
+		}
+		res.Phases.WorkShare = time.Since(ts).Seconds()
+	}
+
+	// ---- Phase 4: execution & communication ----------------------------
+	if !cfg.LoadBalance || c.Size() == 1 {
+		for _, i := range pending {
+			rt.computeItem(local[i], &pred[i], false)
+		}
+	} else if sends := cl.SendsFrom(c.Rank()); len(sends) > 0 {
+		// Sender role.
+		for k := range plan.Sends {
+			for _, pi := range plan.GapItems[k] {
+				i := pending[pi]
+				rt.computeItem(local[i], &pred[i], false)
+			}
+			tw := time.Now()
+			pkg := rt.buildPackage(local, pending, plan.ShipItems[k])
+			if err := c.Send(plan.Sends[k].To, tagWork, pkg); err != nil {
+				return nil, err
+			}
+			res.Sent += len(plan.ShipItems[k])
+			res.Phases.WorkShare += time.Since(tw).Seconds()
+		}
+		for _, pi := range plan.Tail {
+			i := pending[pi]
+			rt.computeItem(local[i], &pred[i], false)
+		}
+	} else {
+		// Receiver (or neutral) role: drain local work, then accept
+		// shipped work in the scheduled order.
+		for _, i := range pending {
+			rt.computeItem(local[i], &pred[i], false)
+		}
+		for _, src := range cl.RecvsAt(c.Rank()) {
+			tw := time.Now()
+			var pkg workPackage
+			if _, err := c.Recv(src, tagWork, &pkg); err != nil {
+				return nil, err
+			}
+			res.Phases.WorkShare += time.Since(tw).Seconds()
+			res.Received += len(pkg.Centers)
+			ptree := kdtree.New(pkg.Points)
+			for _, ctr := range pkg.Centers {
+				rt.computeItemWith(ctr, ptree, pkg.Points, nil, true)
+			}
+		}
+	}
+
+	c.Barrier()
+	res.CommBytes = c.BytesSent()
+	res.Phases.Total = time.Since(t0).Seconds()
+	return res, nil
+}
+
+// workPackage is the payload of a work-sharing message: the shipped field
+// centers plus a copy of the sender's particles covering their cubes.
+type workPackage struct {
+	Centers []geom.Vec3
+	Points  []geom.Vec3
+}
+
+type runtime struct {
+	c    *mpi.Comm
+	cfg  Config
+	tree *kdtree.Tree
+	halo []geom.Vec3
+	res  *Result
+}
+
+func (rt *runtime) cube(center geom.Vec3) geom.AABB {
+	h := rt.cfg.triCubeSide() / 2
+	return geom.AABB{
+		Min: center.Sub(geom.Vec3{X: h, Y: h, Z: h}),
+		Max: center.Add(geom.Vec3{X: h, Y: h, Z: h}),
+	}
+}
+
+// computeItem renders the field at center from the rank's halo particles.
+func (rt *runtime) computeItem(center geom.Vec3, pred *float64, shipped bool) ItemRecord {
+	return rt.computeItemWith(center, rt.tree, rt.halo, pred, shipped)
+}
+
+func (rt *runtime) computeItemWith(center geom.Vec3, tree *kdtree.Tree, pts []geom.Vec3, pred *float64, shipped bool) ItemRecord {
+	cfg := rt.cfg
+	rec := ItemRecord{Center: center, Shipped: shipped}
+	idx := tree.InBox(rt.cube(center), nil)
+	rec.N = len(idx)
+	if pred != nil {
+		rec.PredTri = rt.res.Model.Tri.Predict(float64(rec.N))
+		rec.PredRender = rt.res.Model.Interp.Predict(float64(rec.N))
+	}
+
+	var g *grid.Grid2D
+	spec := render.Spec{
+		Min:  geom.Vec2{X: center.X - cfg.FieldLen/2, Y: center.Y - cfg.FieldLen/2},
+		Nx:   cfg.GridN,
+		Ny:   cfg.GridN,
+		Cell: cfg.FieldLen / float64(cfg.GridN),
+		ZMin: center.Z - cfg.FieldLen/2,
+		ZMax: center.Z + cfg.FieldLen/2,
+	}
+	if rec.N >= cfg.MinParticles && rec.N >= 4 {
+		sel := make([]geom.Vec3, len(idx))
+		for i, id := range idx {
+			sel[i] = pts[id]
+		}
+		t0 := time.Now()
+		tri, err := delaunay.New(sel)
+		var f *dtfe.Field
+		if err == nil {
+			f, err = dtfe.NewField(tri, nil)
+		}
+		rec.TriTime = time.Since(t0).Seconds()
+		if err == nil {
+			t1 := time.Now()
+			m := render.NewMarcher(f)
+			gg, _, rerr := m.Render(spec, cfg.Workers, render.ScheduleDynamic)
+			rec.RenderTime = time.Since(t1).Seconds()
+			if rerr == nil {
+				g = gg
+			}
+		}
+	}
+	if g == nil {
+		g = spec.Grid() // degenerate item: empty field
+	}
+	rt.res.Phases.Triangulate += rec.TriTime
+	rt.res.Phases.Render += rec.RenderTime
+	rt.res.Items = append(rt.res.Items, rec)
+	if cfg.KeepFields {
+		rt.res.Fields = append(rt.res.Fields, Field{Center: center, Grid: g})
+	}
+	return rec
+}
+
+// buildPackage gathers the particles needed by the shipped items.
+func (rt *runtime) buildPackage(local []geom.Vec3, pending []int, ship []int) workPackage {
+	var pkg workPackage
+	seen := make(map[int32]struct{})
+	for _, pi := range ship {
+		ctr := local[pending[pi]]
+		pkg.Centers = append(pkg.Centers, ctr)
+		for _, id := range rt.tree.InBox(rt.cube(ctr), nil) {
+			if _, ok := seen[id]; !ok {
+				seen[id] = struct{}{}
+				pkg.Points = append(pkg.Points, rt.halo[id])
+			}
+		}
+	}
+	return pkg
+}
+
+// fallbackModel builds a crude proportional model when the proper fits are
+// infeasible (e.g. a single rank or empty samples); all ranks see the same
+// inputs so they agree.
+func fallbackModel(ns, tts, trs []float64) model.WorkModel {
+	var sn, st, sr float64
+	for i := range ns {
+		sn += ns[i]
+		if i < len(tts) {
+			st += tts[i]
+		}
+		if i < len(trs) {
+			sr += trs[i]
+		}
+	}
+	cTri, cR := 1e-9, 1e-9
+	if sn > 0 {
+		if st > 0 {
+			cTri = st / sn
+		}
+		if sr > 0 {
+			cR = sr / sn
+		}
+	}
+	return model.WorkModel{
+		Tri:    model.TriModel{C: cTri / 10}, // n log n basis ≈ 10x n at our scales
+		Interp: model.PowerModel{Alpha: cR, Beta: 1},
+	}
+}
+
+// String summarizes a result for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("rank %d: items=%d (sent %d, recv %d) phases{part=%.3fs model=%.3fs tri=%.3fs render=%.3fs share=%.3fs total=%.3fs}",
+		r.Rank, len(r.Items), r.Sent, r.Received,
+		r.Phases.Partition, r.Phases.Model, r.Phases.Triangulate,
+		r.Phases.Render, r.Phases.WorkShare, r.Phases.Total)
+}

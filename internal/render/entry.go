@@ -1,0 +1,126 @@
+package render
+
+import (
+	"math"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/geom"
+)
+
+// entryIndex locates the first tetrahedron pierced by an upward (+z) line
+// of sight: the paper's "2D triangulation of the projected convex hull"
+// (Section IV-A2, eq 14). We project every hull facet whose outward normal
+// has negative z ("facing the opposite direction of integration") onto the
+// x-y plane and index the projected triangles in a uniform bucket grid; a
+// point location in that structure yields the entry facet and the finite
+// tetrahedron behind it.
+type entryIndex struct {
+	faces []entryFace
+	// bucket grid over the projected hull bounding box
+	bmin  geom.Vec2
+	cell  float64
+	nx    int
+	ny    int
+	cells [][]int32 // face indices per bucket
+}
+
+type entryFace struct {
+	a, b, c geom.Vec3 // facet vertices (outward oriented)
+	pa      geom.Vec2 // projections
+	pb      geom.Vec2
+	pc      geom.Vec2
+	behind  int32 // finite tet adjacent to the facet
+}
+
+func newEntryIndex(tri *delaunay.Triangulation) *entryIndex {
+	pts := tri.Points()
+	hull := tri.HullFaces()
+	e := &entryIndex{}
+	box2 := [2]geom.Vec2{{X: math.Inf(1), Y: math.Inf(1)}, {X: math.Inf(-1), Y: math.Inf(-1)}}
+	for _, hf := range hull {
+		a, b, c := pts[hf.V[0]], pts[hf.V[1]], pts[hf.V[2]]
+		n := b.Sub(a).Cross(c.Sub(a)) // outward normal
+		if n.Z >= 0 {
+			continue // not a downward-facing (entry) facet
+		}
+		f := entryFace{a: a, b: b, c: c, pa: a.XY(), pb: b.XY(), pc: c.XY(), behind: hf.Behind}
+		e.faces = append(e.faces, f)
+		for _, p := range [3]geom.Vec2{f.pa, f.pb, f.pc} {
+			box2[0].X = math.Min(box2[0].X, p.X)
+			box2[0].Y = math.Min(box2[0].Y, p.Y)
+			box2[1].X = math.Max(box2[1].X, p.X)
+			box2[1].Y = math.Max(box2[1].Y, p.Y)
+		}
+	}
+	if len(e.faces) == 0 {
+		return e
+	}
+	// Bucket resolution ~ sqrt(#faces) per side.
+	side := int(math.Sqrt(float64(len(e.faces)))) + 1
+	w := box2[1].X - box2[0].X
+	h := box2[1].Y - box2[0].Y
+	size := math.Max(w, h)
+	if size <= 0 {
+		size = 1
+	}
+	e.bmin = box2[0]
+	e.cell = size / float64(side)
+	e.nx = int(w/e.cell) + 1
+	e.ny = int(h/e.cell) + 1
+	e.cells = make([][]int32, e.nx*e.ny)
+	for fi, f := range e.faces {
+		lox, loy := e.bucket(geom.Vec2{
+			X: math.Min(f.pa.X, math.Min(f.pb.X, f.pc.X)),
+			Y: math.Min(f.pa.Y, math.Min(f.pb.Y, f.pc.Y)),
+		})
+		hix, hiy := e.bucket(geom.Vec2{
+			X: math.Max(f.pa.X, math.Max(f.pb.X, f.pc.X)),
+			Y: math.Max(f.pa.Y, math.Max(f.pb.Y, f.pc.Y)),
+		})
+		for by := loy; by <= hiy; by++ {
+			for bx := lox; bx <= hix; bx++ {
+				idx := by*e.nx + bx
+				e.cells[idx] = append(e.cells[idx], int32(fi))
+			}
+		}
+	}
+	return e
+}
+
+func (e *entryIndex) bucket(p geom.Vec2) (bx, by int) {
+	bx = int((p.X - e.bmin.X) / e.cell)
+	by = int((p.Y - e.bmin.Y) / e.cell)
+	if bx < 0 {
+		bx = 0
+	}
+	if by < 0 {
+		by = 0
+	}
+	if bx >= e.nx {
+		bx = e.nx - 1
+	}
+	if by >= e.ny {
+		by = e.ny - 1
+	}
+	return
+}
+
+// find returns the entry facet pierced by the vertical line through xi, or
+// -1 when the line misses the hull.
+func (e *entryIndex) find(xi geom.Vec2) int32 {
+	if len(e.faces) == 0 {
+		return -1
+	}
+	if xi.X < e.bmin.X || xi.Y < e.bmin.Y ||
+		xi.X > e.bmin.X+float64(e.nx)*e.cell || xi.Y > e.bmin.Y+float64(e.ny)*e.cell {
+		return -1
+	}
+	bx, by := e.bucket(xi)
+	for _, fi := range e.cells[by*e.nx+bx] {
+		f := &e.faces[fi]
+		if geom.InTriangle2D(xi, f.pa, f.pb, f.pc) {
+			return fi
+		}
+	}
+	return -1
+}

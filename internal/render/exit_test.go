@@ -1,0 +1,86 @@
+package render
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/geom"
+)
+
+// TestExitVerticalMatchesCrossZ pins the optimized shared-edge exit test
+// against the generic Plücker crossZ implementation on random tetrahedra.
+func TestExitVerticalMatchesCrossZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	checked := 0
+	for checked < 500 {
+		var v [4]geom.Vec3
+		for i := range v {
+			v[i] = geom.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		}
+		if geom.Orient3D(v[0], v[1], v[2], v[3]) <= 0 {
+			v[0], v[1] = v[1], v[0]
+		}
+		if geom.Orient3D(v[0], v[1], v[2], v[3]) <= 0 {
+			continue
+		}
+		// A vertical line through a point inside the projected tet.
+		w0, w1 := rng.Float64(), rng.Float64()*(1-0)
+		_ = w1
+		xi := geom.Vec2{
+			X: (v[0].X + v[1].X + v[2].X + v[3].X) / 4,
+			Y: (v[0].Y + v[1].Y + v[2].Y + v[3].Y) / 4,
+		}
+		// Jitter around the centroid, sometimes leaving the projection.
+		xi.X += (w0 - 0.5) * 0.4
+		xi.Y += (rng.Float64() - 0.5) * 0.4
+
+		tt := delaunay.Tet{V: [4]int32{0, 1, 2, 3}}
+		pts := v[:]
+		face, z, ok := exitVertical(&tt, pts, xi)
+
+		// Reference: generic Plücker per-face test.
+		ray := geom.PluckerFromRay(geom.Vec3{X: xi.X, Y: xi.Y, Z: 0}, geom.Vec3{Z: 1})
+		refFace, refZ := -1, 0.0
+		for f := 0; f < 4; f++ {
+			ft := faceTableRender[f]
+			if zz, cross := crossZ(ray, v[ft[0]], v[ft[1]], v[ft[2]], -1); cross {
+				refFace, refZ = f, zz
+				break
+			}
+		}
+		if ok != (refFace >= 0) {
+			t.Fatalf("ok=%v but reference face=%d (xi=%v)", ok, refFace, xi)
+		}
+		if ok {
+			if face != refFace {
+				t.Fatalf("face %d vs reference %d", face, refFace)
+			}
+			if math.Abs(z-refZ) > 1e-9 {
+				t.Fatalf("z %v vs reference %v", z, refZ)
+			}
+			checked++
+		}
+	}
+}
+
+// TestExitVerticalDegenerateThroughVertex exercises the degeneracy path.
+func TestExitVerticalDegenerateThroughVertex(t *testing.T) {
+	v := []geom.Vec3{
+		{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0}, {X: 0, Y: 0, Z: 1},
+	}
+	tt := delaunay.Tet{V: [4]int32{0, 1, 2, 3}}
+	// Straight through vertex 0.
+	if _, _, ok := exitVertical(&tt, v, geom.Vec2{X: 0, Y: 0}); ok {
+		t.Fatal("line through a vertex must be degenerate")
+	}
+	// Along an edge projection.
+	if _, _, ok := exitVertical(&tt, v, geom.Vec2{X: 0.5, Y: 0}); ok {
+		t.Fatal("line through an edge must be degenerate")
+	}
+	// Far outside the projection: no crossing at all.
+	if _, _, ok := exitVertical(&tt, v, geom.Vec2{X: 5, Y: 5}); ok {
+		t.Fatal("line missing the tet must not cross")
+	}
+}

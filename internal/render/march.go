@@ -1,0 +1,312 @@
+package render
+
+import (
+	"fmt"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/dtfe"
+	"godtfe/internal/geom"
+	"godtfe/internal/grid"
+)
+
+// Marcher is the paper's surface-density kernel (Fig 3): for each 2D grid
+// cell it marches the vertical line of sight ℓ through the tetrahedral
+// mesh using Plücker-coordinate ray–tetrahedron intersection tests and
+// accumulates, per pierced tetrahedron, the exact line integral of the
+// linear DTFE density (eq 12): interpolate at the midpoint of the
+// intersection interval and multiply by the chord length. No intermediate
+// 3D grid is ever built, and the interpolation points are the
+// mathematically optimal ones.
+type Marcher struct {
+	F     *dtfe.Field
+	entry *entryIndex
+	walk  *entryWalk
+	mode  EntryMode
+	eps   float64 // perturbation magnitude for degenerate rays (Fig 2)
+
+	// MaxRetries bounds degeneracy-perturbation attempts per line.
+	MaxRetries int
+}
+
+// EntryMode selects how the first pierced hull facet is located.
+type EntryMode int
+
+const (
+	// EntryBuckets indexes the projected downward facets in a uniform
+	// bucket grid (O(1) expected lookups, query-order independent).
+	EntryBuckets EntryMode = iota
+	// EntryWalking walks the projected hull facet mesh from the previous
+	// hit — the paper's own description of the entry step. Fast for
+	// spatially coherent queries (grid scans).
+	EntryWalking
+)
+
+// SetEntryMode switches the entry-location structure (building the walk
+// mesh on first use).
+func (m *Marcher) SetEntryMode(mode EntryMode) {
+	m.mode = mode
+	if mode == EntryWalking && m.walk == nil {
+		m.walk = newEntryWalk(m.F.Tri)
+	}
+}
+
+// findEntry returns the pierced downward facet, or nil on a miss.
+func (m *Marcher) findEntry(xi geom.Vec2) *entryFace {
+	if m.mode == EntryWalking {
+		if fi := m.walk.find(xi); fi >= 0 {
+			return &m.walk.faces[fi]
+		}
+		return nil
+	}
+	if fi := m.entry.find(xi); fi >= 0 {
+		return &m.entry.faces[fi]
+	}
+	return nil
+}
+
+// NewMarcher prepares the kernel: it extracts the downward-facing hull
+// facets (eq 14) and builds the 2D entry-location index.
+func NewMarcher(f *dtfe.Field) *Marcher {
+	diag := geom.BoundsOf(f.Tri.Points()).Diagonal()
+	return &Marcher{
+		F:          f,
+		entry:      newEntryIndex(f.Tri),
+		eps:        1e-9 * diag,
+		MaxRetries: 16,
+	}
+}
+
+// Render fills the spec's grid with surface density, running the column
+// loop on `workers` goroutines under the given schedule, and returns
+// per-worker stats.
+func (m *Marcher) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, []WorkerStat, error) {
+	if err := spec.Validate(false); err != nil {
+		return nil, nil, err
+	}
+	out := spec.Grid()
+	samples := spec.Samples
+	if samples < 1 {
+		samples = 1
+	}
+	stats := forEachRow(spec.Ny, workers, sched, func(w, j int, st *WorkerStat) {
+		for i := 0; i < spec.Nx; i++ {
+			var acc float64
+			for s := 0; s < samples; s++ {
+				xi := out.Center(i, j)
+				if samples > 1 {
+					xi.X += (jitter(spec.Seed, i, j, s, 0) - 0.5) * spec.Cell
+					xi.Y += (jitter(spec.Seed, i, j, s, 1) - 0.5) * spec.Cell
+				}
+				sigma, steps := m.Column(xi, spec.ZMin, spec.ZMax)
+				acc += sigma
+				st.Steps += int64(steps)
+			}
+			out.Set(i, j, acc/float64(samples))
+			st.Cells++
+		}
+	})
+	return out, stats, nil
+}
+
+// Column integrates the DTFE density along the vertical line through xi.
+// When zmin < zmax the integral is clipped to that interval; otherwise the
+// full hull chord is integrated. It returns the surface density and the
+// number of tetrahedra visited.
+func (m *Marcher) Column(xi geom.Vec2, zmin, zmax float64) (float64, int) {
+	steps := 0
+	for attempt := 0; ; attempt++ {
+		sigma, n, badTet, ok := m.tryColumn(xi, zmin, zmax)
+		steps += n
+		if ok {
+			return sigma, steps
+		}
+		if attempt >= m.MaxRetries {
+			// Give up perturbing: report the partial integral rather than
+			// corrupting the whole field. In practice this is unreachable.
+			return sigma, steps
+		}
+		xi = m.perturb(xi, badTet, attempt)
+	}
+}
+
+// perturb implements the paper's Perturb subroutine (Fig 2): move ξ toward
+// the projection of a vertex of the degenerate tetrahedron by at most ε.
+func (m *Marcher) perturb(xi geom.Vec2, tet int32, attempt int) geom.Vec2 {
+	eps := m.eps * float64(uint(1)<<uint(min(attempt, 20)))
+	pts := m.F.Tri.Points()
+	if tet >= 0 {
+		tt := &m.F.Tri.Tets()[tet]
+		for k := 0; k < 4; k++ {
+			v := tt.V[(k+attempt)&3]
+			if v == delaunay3Inf {
+				continue
+			}
+			delta := pts[v].XY().Sub(xi)
+			n := delta.Norm()
+			if n == 0 {
+				continue
+			}
+			if n > eps {
+				delta = delta.Scale(eps / n)
+			}
+			return xi.Add(delta)
+		}
+	}
+	// No usable vertex: fixed diagonal nudge.
+	return xi.Add(geom.Vec2{X: eps, Y: eps * 0.7071067811865476})
+}
+
+const delaunay3Inf = int32(-1)
+
+// tryColumn marches once. ok=false reports a Plücker degeneracy (the ray
+// met an edge or vertex), returning the tet where it happened.
+func (m *Marcher) tryColumn(xi geom.Vec2, zmin, zmax float64) (sigma float64, steps int, badTet int32, ok bool) {
+	f := m.findEntry(xi)
+	if f == nil {
+		return 0, 0, -1, true // line misses the hull: Σ = 0
+	}
+	clip := zmin < zmax
+	ray := geom.PluckerFromRay(geom.Vec3{X: xi.X, Y: xi.Y, Z: 0}, geom.Vec3{Z: 1})
+
+	zPrev, entryOK := crossZ(ray, f.a, f.b, f.c, +1)
+	if !entryOK {
+		return 0, 0, f.behind, false
+	}
+	cur := f.behind
+
+	tets := m.F.Tri.Tets()
+	pts := m.F.Tri.Points()
+	maxSteps := len(tets) + 16
+	for ; steps < maxSteps; steps++ {
+		tt := &tets[cur]
+		exitFace, zExit, ok := exitVertical(tt, pts, xi)
+		if !ok {
+			return sigma, steps, cur, false // degeneracy: perturb and retry
+		}
+		lo, hi := zPrev, zExit
+		if clip {
+			if lo < zmin {
+				lo = zmin
+			}
+			if hi > zmax {
+				hi = zmax
+			}
+		}
+		if hi > lo {
+			mid := geom.Vec3{X: xi.X, Y: xi.Y, Z: (lo + hi) / 2}
+			sigma += m.F.Interpolate(cur, mid) * (hi - lo)
+		}
+		next := tt.N[exitFace]
+		if m.F.Tri.IsInfinite(next) {
+			return sigma, steps + 1, -1, true // left the hull: done
+		}
+		if clip && zExit >= zmax {
+			return sigma, steps + 1, -1, true
+		}
+		zPrev = zExit
+		cur = next
+	}
+	// A cycle can only arise from an undetected degeneracy; perturb.
+	return sigma, steps, cur, false
+}
+
+// Tetrahedron edges by vertex-slot pair, and each outward face's edge loop
+// as (edge index, sign) — the paper's "shared edge calculations can be
+// reused": six permuted inner products per tetrahedron instead of twelve.
+// Slot pairs: e0=(0,1) e1=(0,2) e2=(0,3) e3=(1,2) e4=(1,3) e5=(2,3).
+var (
+	edgeSlots = [6][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	// faceEdges[f] lists the 3 (edge, sign) pairs of the outward face
+	// opposite slot f, matching delaunay's face table
+	// ({1,2,3},{0,3,2},{0,1,3},{0,2,1}).
+	faceEdges = [4][3]struct {
+		e    int
+		sign float64
+	}{
+		{{3, 1}, {5, 1}, {4, -1}},
+		{{2, 1}, {5, -1}, {1, -1}},
+		{{0, 1}, {4, 1}, {2, -1}},
+		{{1, 1}, {3, -1}, {0, -1}},
+	}
+)
+
+// exitVertical finds the face through which the vertical line at xi leaves
+// the tetrahedron, and the exit z. For a vertical ray the Plücker permuted
+// inner product against an edge reduces to the 2D orientation of xi
+// against the projected edge, so each of the six shared edges costs a
+// handful of flops. ok=false reports a degeneracy (zero product: the line
+// meets an edge or vertex) or an inverted configuration.
+func exitVertical(tt *delaunay.Tet, pts []geom.Vec3, xi geom.Vec2) (face int, zExit float64, ok bool) {
+	var s [6]float64
+	var v [4]geom.Vec3
+	for i := 0; i < 4; i++ {
+		v[i] = pts[tt.V[i]]
+	}
+	for e := 0; e < 6; e++ {
+		a := v[edgeSlots[e][0]]
+		b := v[edgeSlots[e][1]]
+		// For a +z ray through xi, the Plücker permuted inner product with
+		// the directed edge a→b collapses to this 2D expression (pinned
+		// against crossZ by tests).
+		s[e] = (b.X-a.X)*(a.Y-xi.Y) + (b.Y-a.Y)*(xi.X-a.X)
+	}
+	for f := 0; f < 4; f++ {
+		fe := faceEdges[f]
+		w0 := fe[0].sign * s[fe[0].e]
+		w1 := fe[1].sign * s[fe[1].e]
+		w2 := fe[2].sign * s[fe[2].e]
+		// Exit face: ray crosses along the outward normal, i.e. all
+		// permuted inner products negative (see crossZ's convention).
+		if w0 < 0 && w1 < 0 && w2 < 0 {
+			ft := faceTableRender[f]
+			a, b, c := v[ft[0]], v[ft[1]], v[ft[2]]
+			sum := w0 + w1 + w2
+			// Vertex a pairs with its opposite edge (w1), etc.
+			return f, (w1*a.Z + w2*b.Z + w0*c.Z) / sum, true
+		}
+		if w0 == 0 || w1 == 0 || w2 == 0 {
+			// Zero on a candidate face: resolve by perturbation unless
+			// another face crosses strictly; keep scanning, but remember.
+			// (Strict crossing elsewhere cannot coexist with a zero here
+			// only in non-degenerate cases; be conservative.)
+			if (w0 <= 0 && w1 <= 0 && w2 <= 0) || (w0 >= 0 && w1 >= 0 && w2 >= 0) {
+				return -1, 0, false
+			}
+		}
+	}
+	return -1, 0, false
+}
+
+// faceTableRender mirrors delaunay's outward face table.
+var faceTableRender = [4][3]int{{1, 2, 3}, {0, 3, 2}, {0, 1, 3}, {0, 2, 1}}
+
+// crossZ tests whether the upward ray crosses triangle (a,b,c) in the
+// direction `dir` relative to the triangle's orientation (+1: against the
+// CCW normal, i.e. entering an outward face; -1: along it, i.e. exiting)
+// and returns the intersection z. A zero permuted inner product reports a
+// degeneracy (cross=false); callers perturb.
+//
+// Sign convention (pinned by tests): for a face whose CCW normal has a
+// positive dot product with the ray direction, all three permuted inner
+// products w_i = π_r ⊙ π_{e_i} are negative.
+func crossZ(ray geom.Plucker, a, b, c geom.Vec3, dir int) (z float64, cross bool) {
+	w0 := ray.Side(geom.PluckerFromSegment(a, b))
+	w1 := ray.Side(geom.PluckerFromSegment(b, c))
+	w2 := ray.Side(geom.PluckerFromSegment(c, a))
+	if dir < 0 {
+		w0, w1, w2 = -w0, -w1, -w2
+	}
+	if w0 <= 0 || w1 <= 0 || w2 <= 0 {
+		return 0, false
+	}
+	// Barycentric weights (eq 9): vertex a pairs with the opposite edge
+	// b→c, etc.
+	sum := w0 + w1 + w2
+	z = (w1*a.Z + w2*b.Z + w0*c.Z) / sum
+	return z, true
+}
+
+// String describes the kernel configuration.
+func (m *Marcher) String() string {
+	return fmt.Sprintf("Marcher{entryFaces=%d, eps=%g}", len(m.entry.faces), m.eps)
+}

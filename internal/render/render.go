@@ -1,0 +1,209 @@
+// Package render implements the paper's surface-density grid-rendering
+// kernels:
+//
+//   - Marcher: the paper's contribution (Section IV-A) — per 2D grid cell,
+//     march the line of sight through the Delaunay mesh with
+//     Plücker-coordinate ray–tetrahedron intersections and accumulate the
+//     exact per-tet line integral (eq 12). No intermediate 3D grid.
+//   - Walker: the DTFE-public-software baseline (Section III-C) — locate
+//     every 3D grid sample by walking, interpolate, then sum along z (eq 4).
+//   - ZeroOrder: the TESS/DENSE baseline — zero-order (Voronoi-cell
+//     constant) density at every 3D grid sample via nearest-particle
+//     lookup, summed along z.
+//
+// All renderers run on a shared-memory worker pool with per-worker busy
+// time accounting (the quantity compared in the paper's Fig 6).
+package render
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"godtfe/internal/geom"
+	"godtfe/internal/grid"
+)
+
+// Spec describes the output 2D grid and the integration domain.
+type Spec struct {
+	// Min is the lower corner of the 2D grid; the grid has Nx×Ny square
+	// cells of edge Cell.
+	Min  geom.Vec2
+	Nx   int
+	Ny   int
+	Cell float64
+
+	// ZMin/ZMax bound the line-of-sight integration. When ZMin >= ZMax the
+	// marching kernel integrates over the full hull chord, and the 3D-grid
+	// kernels fall back to the triangulation's z extent.
+	ZMin, ZMax float64
+
+	// Nz is the number of 3D samples per column for the 3D-grid kernels
+	// (Walker, ZeroOrder). The marching kernel does not use it.
+	Nz int
+
+	// Samples is the number of Monte Carlo (x,y)-jittered lines per 2D
+	// cell (paper eq 5); 0 or 1 means a single line through the cell
+	// center.
+	Samples int
+
+	// Seed seeds the Monte Carlo jitter.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (s *Spec) Validate(need3D bool) error {
+	if s.Nx <= 0 || s.Ny <= 0 || s.Cell <= 0 {
+		return errors.New("render: grid shape must be positive")
+	}
+	if need3D && s.Nz <= 0 {
+		return errors.New("render: 3D-grid kernel requires Nz > 0")
+	}
+	return nil
+}
+
+// Grid allocates the output grid for the spec.
+func (s *Spec) Grid() *grid.Grid2D { return grid.NewGrid2D(s.Nx, s.Ny, s.Min, s.Cell) }
+
+// WorkerStat records one worker's share of a render, the paper's Fig 6
+// quantity.
+type WorkerStat struct {
+	Worker int
+	Busy   time.Duration
+	Cells  int
+	Steps  int64 // tetrahedra visited (marching) or located (walking)
+}
+
+// Schedule selects how grid rows are distributed over workers.
+type Schedule int
+
+const (
+	// ScheduleDynamic hands out rows from a shared atomic counter,
+	// balancing naturally (our kernel's mode).
+	ScheduleDynamic Schedule = iota
+	// ScheduleStatic assigns each worker one contiguous block of rows,
+	// mimicking the per-subvolume static decomposition of the DTFE public
+	// software, which is what makes its threads imbalanced on clustered
+	// data (paper Fig 6).
+	ScheduleStatic
+	// ScheduleStaticSerial is ScheduleStatic with worker shares executed
+	// one after another on the calling goroutine. On an oversubscribed
+	// host (more workers than cores) concurrent per-worker wall times are
+	// distorted by timesharing; serial execution measures each share as
+	// if its thread ran alone, which is what per-thread comparisons need.
+	ScheduleStaticSerial
+	// ScheduleInterleavedSerial deals row j to worker j mod W and runs the
+	// shares serially: the deterministic proxy for dynamic
+	// self-scheduling under serialization.
+	ScheduleInterleavedSerial
+)
+
+// forEachRow runs fn(worker, j) over all row indices j with the given
+// schedule and returns per-worker stats (Busy filled; Cells/Steps are
+// accumulated by fn via the returned slice).
+func forEachRow(ny, workers int, sched Schedule, fn func(worker, j int, st *WorkerStat)) []WorkerStat {
+	if workers <= 0 {
+		workers = 1
+	}
+	stats := make([]WorkerStat, workers)
+	if sched == ScheduleStaticSerial || sched == ScheduleInterleavedSerial {
+		chunk := (ny + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			st := &stats[w]
+			st.Worker = w
+			start := time.Now()
+			if sched == ScheduleStaticSerial {
+				lo := w * chunk
+				hi := min(lo+chunk, ny)
+				for j := lo; j < hi; j++ {
+					fn(w, j, st)
+				}
+			} else {
+				for j := w; j < ny; j += workers {
+					fn(w, j, st)
+				}
+			}
+			st.Busy = time.Since(start)
+		}
+		return stats
+	}
+	var wg sync.WaitGroup
+	switch sched {
+	case ScheduleStatic:
+		chunk := (ny + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, ny)
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				st := &stats[w]
+				st.Worker = w
+				start := time.Now()
+				for j := lo; j < hi; j++ {
+					fn(w, j, st)
+				}
+				st.Busy = time.Since(start)
+			}(w, lo, hi)
+		}
+	default:
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				st := &stats[w]
+				st.Worker = w
+				start := time.Now()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= ny {
+						break
+					}
+					fn(w, j, st)
+				}
+				st.Busy = time.Since(start)
+			}(w)
+		}
+	}
+	wg.Wait()
+	return stats
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TotalBusy sums worker busy times (a proxy for total work under
+// oversubscription).
+func TotalBusy(stats []WorkerStat) time.Duration {
+	var d time.Duration
+	for _, s := range stats {
+		d += s.Busy
+	}
+	return d
+}
+
+// splitmix64 is used for per-cell deterministic Monte Carlo jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// jitter returns a deterministic pseudo-random value in [0,1) for cell
+// (i,j), sample s, stream k.
+func jitter(seed int64, i, j, s, k int) float64 {
+	h := splitmix64(uint64(seed) ^ uint64(i)*0x9e3779b97f4a7c15 ^ uint64(j)*0xc2b2ae3d27d4eb4f ^
+		uint64(s)*0x165667b19e3779f9 ^ uint64(k)*0xd6e8feb86659fd93)
+	return float64(h>>11) / float64(1<<53)
+}

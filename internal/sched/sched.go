@@ -1,0 +1,240 @@
+// Package sched implements the paper's a-priori work-sharing schedule
+// (Section IV-D): the CreateCommunicationList algorithm (Fig 5), which
+// pairs over-loaded sender ranks with under-loaded receiver ranks around
+// the mean load, and the greedy first-fit variable-size bin-packing used
+// by senders to order their local work items between send points.
+package sched
+
+import "sort"
+
+// Transfer is one work-sharing edge: From sends Amount of modeled work
+// time to To.
+type Transfer struct {
+	From   int
+	To     int
+	Amount float64
+}
+
+// CommList is the global communication list: transfers in the
+// deterministic order produced by the paper's algorithm (senders processed
+// from most loaded down; each sender's transfers ordered as generated).
+type CommList struct {
+	Transfers []Transfer
+	Mean      float64
+}
+
+// CreateCommunicationList runs the paper's Fig 5 algorithm on the modeled
+// total time of every rank. Every rank computes this independently and
+// deterministically, so no coordination is needed.
+func CreateCommunicationList(times []float64) CommList {
+	n := len(times)
+	var mean float64
+	for _, t := range times {
+		mean += t
+	}
+	if n > 0 {
+		mean /= float64(n)
+	}
+	cl := CommList{Mean: mean}
+	if n < 2 {
+		return cl
+	}
+
+	type proc struct {
+		id int
+		t  float64
+	}
+	ps := make([]proc, n)
+	for i, t := range times {
+		ps[i] = proc{id: i, t: t}
+	}
+	// Sort by time descending; ties broken by id so every rank agrees.
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].t != ps[b].t {
+			return ps[a].t > ps[b].t
+		}
+		return ps[a].id < ps[b].id
+	})
+
+	// lr = number of senders (ranks above the mean).
+	lr := 0
+	for _, p := range ps {
+		if p.t > mean {
+			lr++
+		} else {
+			break
+		}
+	}
+
+	cr := n - 1
+	for i := 0; i < lr; i++ {
+		for cr >= lr && ps[i].t > mean {
+			give := ps[i].t - mean
+			room := mean - ps[cr].t
+			if room <= 0 {
+				cr--
+				continue
+			}
+			if give > room {
+				// Fill receiver cr completely; sender keeps going.
+				cl.Transfers = append(cl.Transfers, Transfer{From: ps[i].id, To: ps[cr].id, Amount: room})
+				ps[i].t -= room
+				ps[cr].t = mean
+				cr--
+			} else {
+				// Sender drained; receiver keeps remaining room.
+				cl.Transfers = append(cl.Transfers, Transfer{From: ps[i].id, To: ps[cr].id, Amount: give})
+				ps[cr].t += give
+				ps[i].t = mean
+			}
+		}
+	}
+	return cl
+}
+
+// SendsFrom returns rank id's outgoing transfers in schedule order.
+func (cl CommList) SendsFrom(id int) []Transfer {
+	var out []Transfer
+	for _, tr := range cl.Transfers {
+		if tr.From == id {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// RecvsAt returns the sender ranks that will send to id, in the order the
+// messages will be received.
+func (cl CommList) RecvsAt(id int) []int {
+	var out []int
+	for _, tr := range cl.Transfers {
+		if tr.To == id {
+			out = append(out, tr.From)
+		}
+	}
+	return out
+}
+
+// BalancedTimes applies the transfers to the input times and returns the
+// resulting per-rank loads (useful for predicted-imbalance reporting).
+func (cl CommList) BalancedTimes(times []float64) []float64 {
+	out := make([]float64, len(times))
+	copy(out, times)
+	for _, tr := range cl.Transfers {
+		out[tr.From] -= tr.Amount
+		out[tr.To] += tr.Amount
+	}
+	return out
+}
+
+// Bin is a variable-size bin for PackWork.
+type Bin struct {
+	// Cap is the bin capacity in modeled work time.
+	Cap float64
+	// Items receives the indices of packed work items.
+	Items []int
+	// Load is the packed work time.
+	Load float64
+}
+
+// PackWork assigns work items (by modeled time) to variable-size bins with
+// the greedy first-fit approximation the paper uses: items sorted
+// descending, bins sorted ascending by capacity. Items that fit in no bin
+// are returned as leftover (the sender computes those after its sends).
+// The bins' Items/Load fields are filled in place.
+func PackWork(items []float64, bins []*Bin) (leftover []int) {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if items[ia] != items[ib] {
+			return items[ia] > items[ib]
+		}
+		return ia < ib
+	})
+	bo := make([]*Bin, len(bins))
+	copy(bo, bins)
+	sort.SliceStable(bo, func(a, b int) bool { return bo[a].Cap < bo[b].Cap })
+
+	for _, it := range order {
+		placed := false
+		for _, b := range bo {
+			if b.Load+items[it] <= b.Cap {
+				b.Items = append(b.Items, it)
+				b.Load += items[it]
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			leftover = append(leftover, it)
+		}
+	}
+	sort.Ints(leftover)
+	return leftover
+}
+
+// SenderPlan is a sender's complete local execution plan: which items to
+// compute before each send, which items to ship with each send, and which
+// to compute at the end.
+type SenderPlan struct {
+	// Sends mirrors the sender's transfers in schedule order.
+	Sends []Transfer
+	// ShipItems[k] lists the local item indices shipped with send k.
+	ShipItems [][]int
+	// GapItems[k] lists the local item indices computed before send k.
+	GapItems [][]int
+	// Tail lists the items computed after the last send.
+	Tail []int
+}
+
+// PlanSender builds a sender's plan. itemTimes are the modeled times of the
+// sender's local work items; sends are its transfers (amount = modeled work
+// to ship); recvAvail[k] is the modeled time at which receiver k becomes
+// free (its local total), used to order sends and size the compute gaps.
+func PlanSender(itemTimes []float64, sends []Transfer, recvAvail []float64) SenderPlan {
+	plan := SenderPlan{Sends: make([]Transfer, len(sends))}
+	copy(plan.Sends, sends)
+	// Sort sends by the receiver's availability time ascending (the paper:
+	// "senders sort their SendList by send time in ascending order").
+	avail := make([]float64, len(sends))
+	copy(avail, recvAvail)
+	order := make([]int, len(sends))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return avail[order[a]] < avail[order[b]] })
+	sorted := make([]Transfer, len(sends))
+	sortedAvail := make([]float64, len(sends))
+	for i, o := range order {
+		sorted[i] = plan.Sends[o]
+		sortedAvail[i] = avail[o]
+	}
+	plan.Sends = sorted
+
+	// Bins: one gap before each send (capacity = time between consecutive
+	// send points) plus one ship bin per send (capacity = shipped work).
+	bins := make([]*Bin, 0, 2*len(sorted))
+	gapBins := make([]*Bin, len(sorted))
+	shipBins := make([]*Bin, len(sorted))
+	prev := 0.0
+	for k, tr := range sorted {
+		gapBins[k] = &Bin{Cap: sortedAvail[k] - prev}
+		if gapBins[k].Cap < 0 {
+			gapBins[k].Cap = 0
+		}
+		prev = sortedAvail[k]
+		shipBins[k] = &Bin{Cap: tr.Amount}
+		bins = append(bins, gapBins[k], shipBins[k])
+	}
+	plan.Tail = PackWork(itemTimes, bins)
+	plan.GapItems = make([][]int, len(sorted))
+	plan.ShipItems = make([][]int, len(sorted))
+	for k := range sorted {
+		plan.GapItems[k] = gapBins[k].Items
+		plan.ShipItems[k] = shipBins[k].Items
+	}
+	return plan
+}

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TimelineText renders the communication list as a Fig-4-style ASCII
+// chart: one bar per rank scaled to the mean, with '#' for retained local
+// work, '>' for work sent away, and '+' for work received. It is what
+// dtfe-pipeline prints in verbose mode.
+func (cl CommList) TimelineText(times []float64, width int) string {
+	if width <= 0 {
+		width = 48
+	}
+	if cl.Mean <= 0 || len(times) == 0 {
+		return "(no work)\n"
+	}
+	sent := make([]float64, len(times))
+	recv := make([]float64, len(times))
+	for _, tr := range cl.Transfers {
+		sent[tr.From] += tr.Amount
+		recv[tr.To] += tr.Amount
+	}
+	// Scale: the largest original bar fills the width.
+	maxT := 0.0
+	for i := range times {
+		if t := times[i] + recv[i]; t > maxT {
+			maxT = t
+		}
+	}
+	if maxT <= 0 {
+		return "(no work)\n"
+	}
+	scale := float64(width) / maxT
+
+	var b strings.Builder
+	order := make([]int, len(times))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return times[order[a]] > times[order[b]] })
+	for _, r := range order {
+		keep := times[r] - sent[r]
+		nKeep := int(keep * scale)
+		nSent := int(sent[r] * scale)
+		nRecv := int(recv[r] * scale)
+		fmt.Fprintf(&b, "rank %3d |%s%s%s| %.2f",
+			r,
+			strings.Repeat("#", maxInt(nKeep, 0)),
+			strings.Repeat(">", maxInt(nSent, 0)),
+			strings.Repeat("+", maxInt(nRecv, 0)),
+			times[r])
+		if sent[r] > 0 {
+			fmt.Fprintf(&b, " (sends %.2f)", sent[r])
+		}
+		if recv[r] > 0 {
+			fmt.Fprintf(&b, " (receives %.2f)", recv[r])
+		}
+		b.WriteByte('\n')
+	}
+	mark := int(cl.Mean * scale)
+	fmt.Fprintf(&b, "mean %8s %s^ %.2f\n", "", strings.Repeat(" ", maxInt(mark, 0)), cl.Mean)
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness reports with: histograms (paper Figs 8d, 11), mean/std summaries
+// (Fig 10's workload imbalance), and simple speedup series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-width binned count over [Min, Max).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int64
+	Under    int64 // samples below Min
+	Over     int64 // samples at or above Max
+	N        int64 // total samples offered (including NaN-skips? no: valid only)
+	NaNs     int64
+}
+
+// NewHistogram creates a histogram with the given range and bin count.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	return &Histogram{Min: min, Max: max, Counts: make([]int64, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		h.NaNs++
+		return
+	}
+	h.N++
+	if x < h.Min {
+		h.Under++
+		return
+	}
+	if x >= h.Max {
+		h.Over++
+		return
+	}
+	i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// AddAll records all samples.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// BinCenter returns the center of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*w
+}
+
+// Mode returns the center of the fullest bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// String renders the histogram as aligned rows ("center count"), the form
+// the experiment harness prints.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, c := range h.Counts {
+		fmt.Fprintf(&b, "%10.4f %8d\n", h.BinCenter(i), c)
+	}
+	return b.String()
+}
+
+// Summary holds moments of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+	Sum       float64
+}
+
+// Summarize computes moments of xs (Std is the population standard
+// deviation, matching the paper's workload-imbalance metric).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(xs) == 0 {
+		return s
+	}
+	for _, x := range xs {
+		s.Sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = s.Sum / float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		d := x - s.Mean
+		v += d * d
+	}
+	s.Std = math.Sqrt(v / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// NormalizedStd returns Std/Mean (the paper's Fig 10 y-axis), or 0 for a
+// zero mean.
+func (s Summary) NormalizedStd() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Std / s.Mean
+}
+
+// Speedup converts a series of (procs, time) pairs to speedups relative to
+// the first entry: S(p) = t0·p0/t(p) — i.e. ideal-normalized against the
+// smallest configuration.
+func Speedup(procs []int, times []float64) []float64 {
+	out := make([]float64, len(times))
+	if len(times) == 0 || times[0] <= 0 {
+		return out
+	}
+	base := times[0] * float64(procs[0])
+	for i, t := range times {
+		if t > 0 {
+			out[i] = base / t
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(-1, 1, 4)
+	h.AddAll([]float64{-0.9, -0.4, 0.1, 0.6, 0.6, 2.0, -3.0, math.NaN()})
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[3] != 2 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Over != 1 || h.Under != 1 || h.NaNs != 1 {
+		t.Fatalf("over=%d under=%d nans=%d", h.Over, h.Under, h.NaNs)
+	}
+	if h.N != 7 {
+		t.Fatalf("N = %d", h.N)
+	}
+	if c := h.BinCenter(0); c != -0.75 {
+		t.Fatalf("bin center = %v", c)
+	}
+	if m := h.Mode(); m != 0.75 {
+		t.Fatalf("mode = %v", m)
+	}
+	if !strings.Contains(h.String(), "2") {
+		t.Fatal("String missing counts")
+	}
+}
+
+func TestHistogramBoundary(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(0)  // lowest bin
+	h.Add(10) // at max -> Over
+	if h.Counts[0] != 1 || h.Over != 1 {
+		t.Fatalf("boundary handling: %v over=%d", h.Counts, h.Over)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Std != 2 { // classic example: population std = 2
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if ns := s.NormalizedStd(); ns != 0.4 {
+		t.Fatalf("normalized std = %v", ns)
+	}
+	odd := Summarize([]float64{3, 1, 2})
+	if odd.Median != 2 {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.NormalizedStd() != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	procs := []int{1, 2, 4}
+	times := []float64{100, 50, 30}
+	s := Speedup(procs, times)
+	if s[0] != 1 || s[1] != 2 || math.Abs(s[2]-100.0/30) > 1e-12 {
+		t.Fatalf("speedup = %v", s)
+	}
+	// Baseline at 8 procs: speedup normalized to 8 at the first point.
+	s8 := Speedup([]int{8, 16}, []float64{10, 5})
+	if s8[0] != 8 || s8[1] != 16 {
+		t.Fatalf("s8 = %v", s8)
+	}
+	if out := Speedup(nil, nil); len(out) != 0 {
+		t.Fatal("empty speedup")
+	}
+}

@@ -1,0 +1,210 @@
+// Package vtime is a deterministic virtual-time simulator of the
+// framework's execution phase at arbitrary rank counts. This host has a
+// single core, so wall-clock runs cannot exhibit 240- or 16,384-way
+// parallel behavior; what Figs 9, 10, 12 and 13 of the paper actually
+// measure, though, is schedule quality — per-rank completion times given
+// per-item costs and the work-sharing schedule — which is a deterministic
+// function this package evaluates exactly. Per-item costs are calibrated
+// from the real kernel (see internal/experiments), so shapes are honest.
+//
+// The simulator mirrors the execution semantics of internal/pipeline:
+// receivers drain local work and then block on sends in schedule order;
+// senders interleave computing gap items with (buffered, non-blocking)
+// sends; shipped items run on their receiver. Message delivery time uses a
+// latency + bytes/bandwidth model.
+package vtime
+
+import (
+	"godtfe/internal/sched"
+	"godtfe/internal/stats"
+)
+
+// Item is one work item (a surface-density field to compute).
+type Item struct {
+	Rank      int     // owning rank
+	Predicted float64 // modeled time, drives the schedule
+	Actual    float64 // true time, advances the clock
+	Bytes     int64   // message size if shipped
+}
+
+// CommModel is the interconnect cost model.
+type CommModel struct {
+	Latency      float64 // per-message seconds
+	BytesPerSec  float64 // bandwidth
+	SendOverhead float64 // sender-side per-message packaging time
+}
+
+// Transit returns the in-flight time of a message.
+func (m CommModel) Transit(bytes int64) float64 {
+	t := m.Latency
+	if m.BytesPerSec > 0 {
+		t += float64(bytes) / m.BytesPerSec
+	}
+	return t
+}
+
+// Config configures a simulation.
+type Config struct {
+	Ranks       int
+	Comm        CommModel
+	LoadBalance bool
+	// FixedPhases adds constant per-rank time (partition + modeling
+	// overhead) to the completion time, letting the caller model the
+	// phases that flatten the paper's speedup curves.
+	FixedPhases float64
+}
+
+// RankOutcome is one rank's simulated execution.
+type RankOutcome struct {
+	Compute float64 // busy compute time (actual item costs)
+	Wait    float64 // receiver time blocked on not-yet-arrived messages
+	Send    float64 // sender-side packaging overhead
+	Finish  float64 // completion time (includes FixedPhases)
+}
+
+// Outcome is the full simulation result.
+type Outcome struct {
+	Ranks      []RankOutcome
+	Makespan   float64 // max Finish
+	Transfers  int
+	BytesMoved int64
+	// PredictedLoads are the per-rank modeled loads before sharing
+	// (the paper's "unbalanced" series in Fig 10).
+	PredictedLoads []float64
+	// BalancedLoads are per-rank busy compute times after sharing.
+	BalancedLoads []float64
+}
+
+// Simulate runs the virtual execution.
+func Simulate(cfg Config, items []Item) Outcome {
+	n := cfg.Ranks
+	out := Outcome{
+		Ranks:          make([]RankOutcome, n),
+		PredictedLoads: make([]float64, n),
+		BalancedLoads:  make([]float64, n),
+	}
+	perRank := make([][]int, n)
+	for i, it := range items {
+		if it.Rank < 0 || it.Rank >= n {
+			continue
+		}
+		perRank[it.Rank] = append(perRank[it.Rank], i)
+		out.PredictedLoads[it.Rank] += it.Predicted
+	}
+
+	if !cfg.LoadBalance {
+		for r := 0; r < n; r++ {
+			var busy float64
+			for _, i := range perRank[r] {
+				busy += items[i].Actual
+			}
+			out.Ranks[r] = RankOutcome{Compute: busy, Finish: busy + cfg.FixedPhases}
+			out.BalancedLoads[r] = busy
+			if out.Ranks[r].Finish > out.Makespan {
+				out.Makespan = out.Ranks[r].Finish
+			}
+		}
+		return out
+	}
+
+	cl := sched.CreateCommunicationList(out.PredictedLoads)
+
+	// Senders: build plans, walk their timeline, record message arrivals.
+	type message struct {
+		items   []int // global item indices shipped
+		arrival float64
+	}
+	// Keyed by (sender, receiver): each pair transfers at most once; the
+	// receiver drains them in its RecvsAt order.
+	msgs := make(map[[2]int]message)
+	isSender := make([]bool, n)
+	for r := 0; r < n; r++ {
+		sends := cl.SendsFrom(r)
+		if len(sends) == 0 {
+			continue
+		}
+		isSender[r] = true
+		itemTimes := make([]float64, len(perRank[r]))
+		for k, i := range perRank[r] {
+			itemTimes[k] = items[i].Predicted
+		}
+		avail := make([]float64, len(sends))
+		for k, tr := range sends {
+			avail[k] = out.PredictedLoads[tr.To]
+		}
+		plan := sched.PlanSender(itemTimes, sends, avail)
+
+		ro := &out.Ranks[r]
+		clock := 0.0
+		for k := range plan.Sends {
+			for _, pi := range plan.GapItems[k] {
+				gi := perRank[r][pi]
+				clock += items[gi].Actual
+				ro.Compute += items[gi].Actual
+			}
+			var shipped []int
+			var bytes int64
+			for _, pi := range plan.ShipItems[k] {
+				gi := perRank[r][pi]
+				shipped = append(shipped, gi)
+				bytes += items[gi].Bytes
+			}
+			clock += cfg.Comm.SendOverhead
+			ro.Send += cfg.Comm.SendOverhead
+			to := plan.Sends[k].To
+			msgs[[2]int{r, to}] = message{
+				items:   shipped,
+				arrival: clock + cfg.Comm.Transit(bytes),
+			}
+			out.Transfers++
+			out.BytesMoved += bytes
+		}
+		for _, pi := range plan.Tail {
+			gi := perRank[r][pi]
+			clock += items[gi].Actual
+			ro.Compute += items[gi].Actual
+		}
+		ro.Finish = clock + cfg.FixedPhases
+	}
+
+	// Receivers and neutral ranks: local work, then scheduled receives.
+	for r := 0; r < n; r++ {
+		if isSender[r] {
+			continue
+		}
+		ro := &out.Ranks[r]
+		clock := 0.0
+		for _, i := range perRank[r] {
+			clock += items[i].Actual
+			ro.Compute += items[i].Actual
+		}
+		for _, src := range cl.RecvsAt(r) {
+			m := msgs[[2]int{src, r}]
+			if m.arrival > clock {
+				ro.Wait += m.arrival - clock
+				clock = m.arrival
+			}
+			for _, gi := range m.items {
+				clock += items[gi].Actual
+				ro.Compute += items[gi].Actual
+			}
+		}
+		ro.Finish = clock + cfg.FixedPhases
+	}
+
+	for r := 0; r < n; r++ {
+		out.BalancedLoads[r] = out.Ranks[r].Compute
+		if out.Ranks[r].Finish > out.Makespan {
+			out.Makespan = out.Ranks[r].Finish
+		}
+	}
+	return out
+}
+
+// ImbalanceStats returns the normalized standard deviation of the
+// predicted (unbalanced) and achieved (balanced) per-rank loads — the two
+// series of the paper's Fig 10.
+func (o Outcome) ImbalanceStats() (unbalanced, balanced float64) {
+	return stats.Summarize(o.PredictedLoads).NormalizedStd(),
+		stats.Summarize(o.BalancedLoads).NormalizedStd()
+}
