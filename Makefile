@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test tier1 vet race bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 gate: everything builds and every test passes.
+tier1: build test
+
+vet:
+	$(GO) vet ./...
+
+# Concurrency-sensitive packages (the MPI runtime and the fault-tolerant
+# pipeline executor, including the chaos tests) under the race detector.
+race:
+	$(GO) test -race ./internal/mpi/... ./internal/pipeline/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+ci: tier1 vet race

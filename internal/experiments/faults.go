@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"godtfe/internal/domain"
+	"godtfe/internal/geom"
+	"godtfe/internal/synth"
+	"godtfe/internal/vtime"
+)
+
+var faultProcs = []int{4096, 16384}
+
+// faultFractions sweeps the fraction of ranks killed mid-Phase 4.
+var faultFractions = []float64{0, 0.001, 0.01, 0.05}
+
+// Faults measures the fault-tolerant Phase 4 executor at the Fig 13
+// rank counts: the virtual-time recovery simulator runs the Fig-13-style
+// workload (real-kernel calibrated per-item costs) under rank-crash
+// schedules of increasing failure rate and under a straggler population,
+// reporting completion time, recovery overhead, and item loss vs the
+// failure-free baseline. This is the "fig13 with recovery" companion to
+// the scaling study.
+func Faults(opt Options) (*Report, error) {
+	opt = opt.fill()
+	start := time.Now()
+	r := &Report{ID: "faults", Title: "fault-tolerant Phase 4: recovery overhead vs failure rate at 4k-16k ranks"}
+
+	box := geom.AABB{Min: geom.Vec3{}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	nFields := opt.scaled(233230)
+	hspec := synth.DefaultHaloSpec()
+	hspec.NHalos = 256
+	hspec.HaloFrac = 0.25
+	centers := synth.HaloSet(nFields, box, hspec, opt.Seed+31)
+	rng := rand.New(rand.NewSource(opt.Seed + 32))
+
+	cal, err := calibrate(opt, 64)
+	if err != nil {
+		return nil, err
+	}
+	const meanCount = 20000
+	pred := make([]float64, nFields)
+	actual := make([]float64, nFields)
+	for i := range pred {
+		c := meanCount * lognoise(rng, 0.4)
+		pred[i] = cal.Model.Tri.Predict(c) + cal.Model.Interp.Predict(c)
+		actual[i] = pred[i] * lognoise(rng, 0.2)
+	}
+
+	const (
+		heartbeat = 1e-3
+		threshold = 4.0
+		ckptBytes = int64(24*meanCount) * 4 // halo copy: ~4 fields' particles
+	)
+
+	r.Rowf("%-6s %9s %12s %12s %10s %10s %8s %8s", "procs", "fail-frac",
+		"baseline", "makespan", "overhead", "lost-work", "recov", "lost")
+	for _, p := range faultProcs {
+		dec, err := domain.NewDecomp(box, p, 0)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]vtime.Item, nFields)
+		for i, ctr := range centers {
+			items[i] = vtime.Item{Rank: dec.OwnerOf(ctr), Predicted: pred[i], Actual: actual[i]}
+		}
+		// Crash times span the failure-free makespan so early, mid and late
+		// Phase 4 deaths all occur.
+		free := vtime.SimulateRecovery(vtime.RecoveryConfig{
+			Ranks: p, Comm: commModel(), HeartbeatInterval: heartbeat,
+		}, items)
+
+		crng := rand.New(rand.NewSource(opt.Seed + int64(p)))
+		for _, frac := range faultFractions {
+			nCrash := int(frac * float64(p))
+			victims := crng.Perm(p)[:nCrash]
+			sort.Ints(victims)
+			crashes := make([]vtime.SimCrash, nCrash)
+			for i, v := range victims {
+				crashes[i] = vtime.SimCrash{Rank: v, At: crng.Float64() * free.Makespan}
+			}
+			out := vtime.SimulateRecovery(vtime.RecoveryConfig{
+				Ranks: p, Comm: commModel(),
+				HeartbeatInterval:  heartbeat,
+				StragglerThreshold: threshold,
+				CkptBytesPerRank:   ckptBytes,
+				Crashes:            crashes,
+			}, items)
+			r.Rowf("%-6d %9.3f %11.2fs %11.2fs %9.2fs %9.2fs %8d %8d",
+				p, frac, out.Baseline, out.Makespan, out.Overhead, out.LostWork,
+				out.ItemsRecovered, out.ItemsLost)
+		}
+	}
+
+	// Straggler study: 0.5% of ranks slow down 10x; compare detection off
+	// (no yield: stragglers drag the makespan) against the threshold-based
+	// yield protocol at the largest rank count.
+	p := faultProcs[len(faultProcs)-1]
+	dec, err := domain.NewDecomp(box, p, 0)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]vtime.Item, nFields)
+	for i, ctr := range centers {
+		items[i] = vtime.Item{Rank: dec.OwnerOf(ctr), Predicted: pred[i], Actual: actual[i]}
+	}
+	srng := rand.New(rand.NewSource(opt.Seed + 33))
+	slow := make(map[int]float64)
+	for _, v := range srng.Perm(p)[:p/200] {
+		slow[v] = 10
+	}
+	base := vtime.RecoveryConfig{
+		Ranks: p, Comm: commModel(), HeartbeatInterval: heartbeat,
+		CkptBytesPerRank: ckptBytes, StragglerFactor: slow,
+	}
+	off := vtime.SimulateRecovery(base, items)
+	det := base
+	det.StragglerThreshold = threshold
+	on := vtime.SimulateRecovery(det, items)
+	r.Rowf("%-6s %12s %14s %14s %8s", "procs", "stragglers", "no-detect", "with-yield", "gain")
+	gain := 0.0
+	if on.Makespan > 0 {
+		gain = off.Makespan / on.Makespan
+	}
+	r.Rowf("%-6d %12d %13.2fs %13.2fs %7.2fx", p, len(slow), off.Makespan, on.Makespan, gain)
+
+	r.Notef("recovery: ring buddy checkpoint (%d B/rank), heartbeat %.0fms, straggler yield threshold %.0fx", ckptBytes, heartbeat*1e3, threshold)
+	r.Notef("crashed ranks lose their whole Result; the buddy recomputes all their items, so overhead grows with crash lateness")
+	r.Notef("lost items occur only when a rank and its ring buddy both die")
+	r.Elapsed = time.Since(start)
+	return r, nil
+}

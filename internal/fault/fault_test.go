@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestShouldCrashFiresAtProgress(t *testing.T) {
+	in := New(Plan{Crashes: []Crash{{Rank: 2, Point: PointPhase4, After: 3}}})
+	if in.ShouldCrash(2, PointPhase4, 2) {
+		t.Fatal("fired before After")
+	}
+	if !in.ShouldCrash(2, PointPhase4, 3) || !in.ShouldCrash(2, PointPhase4, 10) {
+		t.Fatal("did not fire at/after After")
+	}
+	if in.ShouldCrash(1, PointPhase4, 5) || in.ShouldCrash(2, PointPhase1, 5) {
+		t.Fatal("fired for wrong rank or point")
+	}
+}
+
+func TestCrashedErrorWrapsSentinel(t *testing.T) {
+	err := Crashed(3, PointPhase4, 7)
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("not wrapping ErrInjectedCrash: %v", err)
+	}
+}
+
+func TestStraggleFactor(t *testing.T) {
+	in := New(Plan{Stragglers: []Straggler{{Rank: 1, Factor: 8}, {Rank: 2, Factor: 0.5}}})
+	if got := in.StraggleFactor(1); got != 8 {
+		t.Fatalf("factor = %v", got)
+	}
+	// Factors <= 1 are ignored (cannot speed ranks up).
+	if got := in.StraggleFactor(2); got != 1 {
+		t.Fatalf("sub-unit factor accepted: %v", got)
+	}
+	if got := in.StraggleFactor(0); got != 1 {
+		t.Fatalf("unafflicted rank slowed: %v", got)
+	}
+}
+
+func TestSendVerdictDeterministicAcrossInjectors(t *testing.T) {
+	plan := Plan{Seed: 7, DropProb: 0.5, DelayProb: 0.5, Delay: time.Millisecond}
+	a, b := New(plan), New(plan)
+	for msg := 0; msg < 100; msg++ {
+		va := a.SendVerdict(0, 1, 9, 0, 64)
+		vb := b.SendVerdict(0, 1, 9, 0, 64)
+		if va != vb {
+			t.Fatalf("message %d: %+v vs %+v", msg, va, vb)
+		}
+	}
+}
+
+func TestSendVerdictSeedChangesSchedule(t *testing.T) {
+	diff := 0
+	a := New(Plan{Seed: 1, DropProb: 0.5})
+	b := New(Plan{Seed: 2, DropProb: 0.5})
+	for msg := 0; msg < 200; msg++ {
+		if a.SendVerdict(0, 1, 9, 0, 64).Drop != b.SendVerdict(0, 1, 9, 0, 64).Drop {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical drop schedules")
+	}
+}
+
+func TestDropCountBoundsRetries(t *testing.T) {
+	// A dropped message must stop being dropped after DropCount attempts so
+	// default retry budgets eventually deliver it.
+	in := New(Plan{Seed: 3, DropProb: 1, DropCount: 2})
+	if !in.SendVerdict(0, 1, 5, 0, 10).Drop {
+		t.Fatal("attempt 0 not dropped with DropProb=1")
+	}
+	if !in.SendVerdict(0, 1, 5, 1, 10).Drop {
+		t.Fatal("attempt 1 not dropped")
+	}
+	if in.SendVerdict(0, 1, 5, 2, 10).Drop {
+		t.Fatal("attempt 2 dropped beyond DropCount")
+	}
+}
+
+func TestDelayJitterWithinBounds(t *testing.T) {
+	in := New(Plan{Seed: 5, DelayProb: 1, Delay: 10 * time.Millisecond})
+	for msg := 0; msg < 50; msg++ {
+		v := in.SendVerdict(2, 3, 1, 0, 8)
+		if v.Delay < 5*time.Millisecond || v.Delay > 15*time.Millisecond {
+			t.Fatalf("message %d: delay %v outside [0.5, 1.5]x", msg, v.Delay)
+		}
+	}
+}
+
+func TestStraggleSleepCapped(t *testing.T) {
+	in := New(Plan{
+		Stragglers:       []Straggler{{Rank: 0, Factor: 1000}},
+		MaxStraggleSleep: 5 * time.Millisecond,
+	})
+	start := time.Now()
+	in.StraggleSleep(0, time.Second)
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("sleep not capped: %v", d)
+	}
+	// Unafflicted rank must not sleep at all.
+	start = time.Now()
+	in.StraggleSleep(1, time.Second)
+	if d := time.Since(start); d > time.Millisecond {
+		t.Fatalf("unafflicted rank slept %v", d)
+	}
+}

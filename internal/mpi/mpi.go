@@ -9,18 +9,41 @@
 // It substitutes for MPI on Cooley/Mira in the paper's distributed
 // framework; the framework code is structured exactly as the MPI program
 // would be.
+//
+// Unlike classic fail-stop MPI, the runtime is failure-aware: Run marks a
+// rank that returns (with or without an error) so that peers blocked in
+// Recv or a collective on a message that can no longer arrive observe
+// ErrRankFailed instead of deadlocking. Deadline-aware receives
+// (RecvTimeout, TryRecv) and a fault-injection hook on the send path
+// (SetInjector, with capped exponential-backoff retries on injected drops)
+// support the fault-tolerant execution mode of internal/pipeline.
 package mpi
 
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // AnySource matches messages from any rank in Recv.
 const AnySource = -1
+
+// Sentinel errors surfaced by the failure-aware receive paths.
+var (
+	// ErrRankFailed reports that a rank this operation depends on has
+	// exited (with or without an error) and the awaited message can no
+	// longer arrive.
+	ErrRankFailed = errors.New("mpi: rank failed")
+	// ErrTimeout reports that a deadline-aware receive expired.
+	ErrTimeout = errors.New("mpi: receive timed out")
+	// ErrMessageLost reports that a send was dropped by the fault
+	// injector on every retry attempt.
+	ErrMessageLost = errors.New("mpi: message lost")
+)
 
 // internal tag namespace for collectives; user tags must be >= 0.
 const (
@@ -31,6 +54,34 @@ const (
 	tagAlltoall
 	tagReduce
 )
+
+// rank lifecycle states.
+const (
+	stateAlive  int32 = iota
+	stateDone         // returned from Run's body without error
+	stateFailed       // returned with an error (or marked via MarkFailed)
+)
+
+const (
+	defaultMaxRetries = 5
+	retryBackoffBase  = 200 * time.Microsecond
+	retryBackoffLimit = 10 * time.Millisecond
+)
+
+// SendVerdict is a fault injector's decision for one delivery attempt.
+type SendVerdict struct {
+	// Drop discards this attempt; the sender backs off and retries.
+	Drop bool
+	// Delay postpones delivery by this duration (ignored when Drop).
+	Delay time.Duration
+}
+
+// Injector intercepts message transmission for fault injection. It is
+// consulted once per delivery attempt and must be safe for concurrent use
+// by all ranks.
+type Injector interface {
+	SendVerdict(src, dst, tag, attempt, bytes int) SendVerdict
+}
 
 type envelope struct {
 	src  int
@@ -57,22 +108,6 @@ func (m *mailbox) put(e envelope) {
 	m.cond.Broadcast()
 }
 
-// take blocks until a message matching (src, tag) is available and removes
-// it. src may be AnySource.
-func (m *mailbox) take(src, tag int) envelope {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for {
-		for i, e := range m.queue {
-			if (src == AnySource || e.src == src) && e.tag == tag {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return e
-			}
-		}
-		m.cond.Wait()
-	}
-}
-
 // World is a communicator universe created by NewWorld.
 type World struct {
 	size      int
@@ -80,6 +115,15 @@ type World struct {
 	bytesSent []atomic.Int64
 	msgsSent  []atomic.Int64
 	collSeq   []int64 // per-rank collective sequence numbers
+
+	states   []atomic.Int32 // rank lifecycle (stateAlive/Done/Failed)
+	inFlight []atomic.Int64 // per-source delayed messages not yet delivered
+
+	failMu   sync.Mutex
+	failErrs map[int]error
+
+	injMu    sync.Mutex
+	injector Injector
 }
 
 // NewWorld creates a world with the given number of ranks.
@@ -90,6 +134,9 @@ func NewWorld(size int) *World {
 		bytesSent: make([]atomic.Int64, size),
 		msgsSent:  make([]atomic.Int64, size),
 		collSeq:   make([]int64, size),
+		states:    make([]atomic.Int32, size),
+		inFlight:  make([]atomic.Int64, size),
+		failErrs:  make(map[int]error),
 	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
@@ -97,30 +144,183 @@ func NewWorld(size int) *World {
 	return w
 }
 
+// SetInjector installs a fault injector on the world's send path (nil
+// removes it). Intended to be set before ranks start.
+func (w *World) SetInjector(in Injector) {
+	w.injMu.Lock()
+	w.injector = in
+	w.injMu.Unlock()
+}
+
+func (w *World) getInjector() Injector {
+	w.injMu.Lock()
+	defer w.injMu.Unlock()
+	return w.injector
+}
+
+// MarkFailed records that a rank has failed with the given cause and wakes
+// every blocked receiver so it can observe ErrRankFailed instead of
+// deadlocking. Run calls this automatically when a rank's body returns an
+// error.
+func (w *World) MarkFailed(rank int, cause error) {
+	w.failMu.Lock()
+	if _, ok := w.failErrs[rank]; !ok && cause != nil {
+		w.failErrs[rank] = cause
+	}
+	w.failMu.Unlock()
+	w.states[rank].Store(stateFailed)
+	w.wakeAll()
+}
+
+func (w *World) markDone(rank int) {
+	w.states[rank].Store(stateDone)
+	w.wakeAll()
+}
+
+func (w *World) wakeAll() {
+	for _, m := range w.boxes {
+		m.mu.Lock()
+		m.mu.Unlock() //nolint:staticcheck // pair ensures waiters are parked
+		m.cond.Broadcast()
+	}
+}
+
+// FailedRanks returns the ranks currently marked failed, in order.
+func (w *World) FailedRanks() []int {
+	var out []int
+	for r := range w.states {
+		if w.states[r].Load() == stateFailed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (w *World) failureOf(rank int) error {
+	w.failMu.Lock()
+	cause := w.failErrs[rank]
+	w.failMu.Unlock()
+	if cause != nil {
+		return fmt.Errorf("%w: rank %d: %v", ErrRankFailed, rank, cause)
+	}
+	return fmt.Errorf("%w: rank %d exited", ErrRankFailed, rank)
+}
+
+func (w *World) totalInFlight() int64 {
+	var t int64
+	for i := range w.inFlight {
+		t += w.inFlight[i].Load()
+	}
+	return t
+}
+
+// take blocks until a message matching (src, tag) is queued at rank me, a
+// dependency failure is detected, or the deadline (if non-zero) expires.
+// Queued messages always win over failure detection: a message sent before
+// its sender died remains deliverable, like bytes buffered in a real
+// interconnect.
+//
+// Failure semantics: for a specific src, the take fails with ErrRankFailed
+// as soon as src is no longer alive (and nothing is queued or in flight
+// from it). For AnySource the take fails if any peer has failed or every
+// peer has exited — unless tolerant is set, in which case failures are
+// ignored and the caller is expected to bound the wait with a deadline and
+// inspect FailedRanks itself (the recovery executor's monitoring mode).
+func (w *World) take(me, src, tag int, deadline time.Time, tolerant bool) (envelope, error) {
+	m := w.boxes[me]
+	hasDeadline := !deadline.IsZero()
+	if hasDeadline {
+		if d := time.Until(deadline); d > 0 {
+			t := time.AfterFunc(d, func() {
+				m.mu.Lock()
+				m.mu.Unlock() //nolint:staticcheck // park barrier before broadcast
+				m.cond.Broadcast()
+			})
+			defer t.Stop()
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, e := range m.queue {
+			if (src == AnySource || e.src == src) && e.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return e, nil
+			}
+		}
+		if !tolerant {
+			if src != AnySource {
+				if src != me && w.states[src].Load() != stateAlive && w.inFlight[src].Load() == 0 {
+					return envelope{}, fmt.Errorf("recv tag %d: %w", tag, w.failureOf(src))
+				}
+			} else {
+				failed, allGone := -1, true
+				for r := 0; r < w.size; r++ {
+					if r == me {
+						continue
+					}
+					switch w.states[r].Load() {
+					case stateFailed:
+						failed = r
+					case stateAlive:
+						allGone = false
+					}
+				}
+				if failed >= 0 {
+					return envelope{}, fmt.Errorf("recv tag %d (any source): %w", tag, w.failureOf(failed))
+				}
+				if allGone && w.size > 1 && w.totalInFlight() == 0 {
+					return envelope{}, fmt.Errorf("recv tag %d (any source): all peers exited: %w", tag, ErrRankFailed)
+				}
+			}
+		}
+		if hasDeadline && !time.Now().Before(deadline) {
+			return envelope{}, fmt.Errorf("recv tag %d from %d: %w", tag, src, ErrTimeout)
+		}
+		m.cond.Wait()
+	}
+}
+
 // Comm is one rank's handle on the world.
 type Comm struct {
-	world *World
-	rank  int
+	world      *World
+	rank       int
+	maxRetries int
 }
 
 // Comm returns the communicator for a rank.
-func (w *World) Comm(rank int) *Comm { return &Comm{world: w, rank: rank} }
+func (w *World) Comm(rank int) *Comm {
+	return &Comm{world: w, rank: rank, maxRetries: defaultMaxRetries}
+}
 
-// Run executes f concurrently on every rank of a fresh world of the given
-// size and waits for all to finish, returning the first error.
-func Run(size int, f func(c *Comm) error) error {
-	w := NewWorld(size)
-	errs := make([]error, size)
+// RunEach executes f concurrently on every rank of this world and returns
+// each rank's error, indexed by rank. A rank whose body returns an error
+// is marked failed (waking any peer blocked on it with ErrRankFailed); a
+// rank that returns nil is marked done, so peers waiting on messages it
+// will never send also unblock instead of deadlocking.
+func (w *World) RunEach(f func(c *Comm) error) []error {
+	errs := make([]error, w.size)
 	var wg sync.WaitGroup
-	for r := 0; r < size; r++ {
+	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			errs[r] = f(w.Comm(r))
+			err := f(w.Comm(r))
+			errs[r] = err
+			if err != nil {
+				w.MarkFailed(r, err)
+			} else {
+				w.markDone(r)
+			}
 		}(r)
 	}
 	wg.Wait()
-	for r, err := range errs {
+	return errs
+}
+
+// Run executes f on every rank of this world and returns the first error.
+func (w *World) Run(f func(c *Comm) error) error {
+	for r, err := range w.RunEach(f) {
 		if err != nil {
 			return fmt.Errorf("rank %d: %w", r, err)
 		}
@@ -128,11 +328,33 @@ func Run(size int, f func(c *Comm) error) error {
 	return nil
 }
 
+// Run executes f concurrently on every rank of a fresh world of the given
+// size and waits for all to finish, returning the first error.
+func Run(size int, f func(c *Comm) error) error {
+	return NewWorld(size).Run(f)
+}
+
+// RunEach is like Run but returns every rank's error indexed by rank.
+func RunEach(size int, f func(c *Comm) error) []error {
+	return NewWorld(size).RunEach(f)
+}
+
 // Rank returns this communicator's rank.
 func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.size }
+
+// FailedRanks returns the ranks currently marked failed.
+func (c *Comm) FailedRanks() []int { return c.world.FailedRanks() }
+
+// SetMaxSendRetries sets how many times this rank's sends are retried when
+// the fault injector drops them (negative values are ignored).
+func (c *Comm) SetMaxSendRetries(n int) {
+	if n >= 0 {
+		c.maxRetries = n
+	}
+}
 
 // BytesSent returns the total bytes this rank has sent so far.
 func (c *Comm) BytesSent() int64 { return c.world.bytesSent[c.rank].Load() }
@@ -167,10 +389,56 @@ func decode(data []byte, v any) error {
 	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
 }
 
-func (c *Comm) sendRaw(dst, tag int, data []byte) {
-	c.world.bytesSent[c.rank].Add(int64(len(data)))
-	c.world.msgsSent[c.rank].Add(1)
-	c.world.boxes[dst].put(envelope{src: c.rank, tag: tag, data: data})
+// decodeFrom wraps gob decode failures with the message's origin, the
+// operation it arrived under, and the target type, so a tag collision or
+// type mismatch is diagnosable instead of a bare "gob: type mismatch".
+func decodeFrom(e envelope, op string, v any) error {
+	if err := decode(e.data, v); err != nil {
+		return fmt.Errorf("mpi: %s: decoding message from rank %d into %T: %w", op, e.src, v, err)
+	}
+	return nil
+}
+
+// sendRaw delivers data to dst, consulting the fault injector per attempt
+// and retrying dropped attempts with capped exponential backoff. Every
+// attempt is accounted as wire traffic.
+func (c *Comm) sendRaw(dst, tag int, data []byte) error {
+	w := c.world
+	inj := w.getInjector()
+	attempts := c.maxRetries + 1
+	backoff := retryBackoffBase
+	for a := 0; a < attempts; a++ {
+		w.bytesSent[c.rank].Add(int64(len(data)))
+		w.msgsSent[c.rank].Add(1)
+		var v SendVerdict
+		if inj != nil {
+			v = inj.SendVerdict(c.rank, dst, tag, a, len(data))
+		}
+		if v.Drop {
+			if a == attempts-1 {
+				break
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > retryBackoffLimit {
+				backoff = retryBackoffLimit
+			}
+			continue
+		}
+		e := envelope{src: c.rank, tag: tag, data: data}
+		if v.Delay > 0 {
+			w.inFlight[c.rank].Add(1)
+			time.AfterFunc(v.Delay, func() {
+				w.boxes[dst].put(e)
+				w.inFlight[c.rank].Add(-1)
+			})
+		} else {
+			w.boxes[dst].put(e)
+		}
+		return nil
+	}
+	return fmt.Errorf("mpi: send to rank %d tag %d dropped after %d attempts: %w",
+		dst, tag, attempts, ErrMessageLost)
 }
 
 // Send gob-encodes v and delivers it to rank dst with the given tag
@@ -186,21 +454,55 @@ func (c *Comm) Send(dst, tag int, v any) error {
 	if err != nil {
 		return err
 	}
-	c.sendRaw(dst, tag, data)
-	return nil
+	return c.sendRaw(dst, tag, data)
 }
 
 // Recv blocks until a message with the given source (or AnySource) and tag
 // arrives, decodes it into v (a pointer), and returns the actual source.
+// If the awaited rank exits first (or, for AnySource, any peer fails), it
+// returns an error satisfying errors.Is(err, ErrRankFailed).
 func (c *Comm) Recv(src, tag int, v any) (int, error) {
 	if tag < 0 {
 		return 0, fmt.Errorf("mpi: user tags must be >= 0, got %d", tag)
 	}
-	e := c.world.boxes[c.rank].take(src, tag)
-	if err := decode(e.data, v); err != nil {
-		return e.src, err
+	e, err := c.world.take(c.rank, src, tag, time.Time{}, false)
+	if err != nil {
+		return 0, fmt.Errorf("mpi: %w", err)
 	}
-	return e.src, nil
+	return e.src, decodeFrom(e, fmt.Sprintf("recv tag %d", tag), v)
+}
+
+// RecvTimeout is Recv with a deadline: it returns an error satisfying
+// errors.Is(err, ErrTimeout) if no matching message arrives in time. For a
+// specific source the failure semantics match Recv (fail fast on a dead
+// rank); for AnySource, peer failures do NOT abort the wait — the caller
+// holds the deadline and is expected to consult FailedRanks, which is what
+// the pipeline's recovery coordinator does while monitoring heartbeats.
+func (c *Comm) RecvTimeout(src, tag int, v any, timeout time.Duration) (int, error) {
+	if tag < 0 {
+		return 0, fmt.Errorf("mpi: user tags must be >= 0, got %d", tag)
+	}
+	e, err := c.world.take(c.rank, src, tag, time.Now().Add(timeout), src == AnySource)
+	if err != nil {
+		return 0, fmt.Errorf("mpi: %w", err)
+	}
+	return e.src, decodeFrom(e, fmt.Sprintf("recv tag %d", tag), v)
+}
+
+// TryRecv is a non-blocking Recv: it returns ok=false when no matching
+// message is queued. A dead specific source still reports ErrRankFailed.
+func (c *Comm) TryRecv(src, tag int, v any) (int, bool, error) {
+	if tag < 0 {
+		return 0, false, fmt.Errorf("mpi: user tags must be >= 0, got %d", tag)
+	}
+	e, err := c.world.take(c.rank, src, tag, time.Now(), src == AnySource)
+	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("mpi: %w", err)
+	}
+	return e.src, true, decodeFrom(e, fmt.Sprintf("recv tag %d", tag), v)
 }
 
 // nextCollTag returns a fresh internal tag for a collective; each rank
@@ -212,21 +514,31 @@ func (c *Comm) nextCollTag(base int) int {
 	return base - 8*int(seq)
 }
 
-// Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() {
+// Barrier blocks until every rank has entered it. It fails with
+// ErrRankFailed if a participant dies first.
+func (c *Comm) Barrier() error {
 	tag := c.nextCollTag(tagBarrier)
 	// Dissemination-free simple barrier: gather-to-0 then broadcast.
 	if c.rank == 0 {
 		for i := 1; i < c.world.size; i++ {
-			c.world.boxes[0].take(AnySource, tag)
+			if _, err := c.world.take(0, AnySource, tag, time.Time{}, false); err != nil {
+				return fmt.Errorf("mpi: barrier: %w", err)
+			}
 		}
 		for i := 1; i < c.world.size; i++ {
-			c.sendRaw(i, tag, nil)
+			if err := c.sendRaw(i, tag, nil); err != nil {
+				return fmt.Errorf("mpi: barrier: %w", err)
+			}
 		}
-	} else {
-		c.sendRaw(0, tag, nil)
-		c.world.boxes[c.rank].take(0, tag)
+		return nil
 	}
+	if err := c.sendRaw(0, tag, nil); err != nil {
+		return fmt.Errorf("mpi: barrier: %w", err)
+	}
+	if _, err := c.world.take(c.rank, 0, tag, time.Time{}, false); err != nil {
+		return fmt.Errorf("mpi: barrier: %w", err)
+	}
+	return nil
 }
 
 // Bcast broadcasts *v from root to all ranks (v must be a pointer; on
@@ -240,13 +552,18 @@ func (c *Comm) Bcast(root int, v any) error {
 		}
 		for i := 0; i < c.world.size; i++ {
 			if i != root {
-				c.sendRaw(i, tag, data)
+				if err := c.sendRaw(i, tag, data); err != nil {
+					return fmt.Errorf("mpi: bcast: %w", err)
+				}
 			}
 		}
 		return nil
 	}
-	e := c.world.boxes[c.rank].take(root, tag)
-	return decode(e.data, v)
+	e, err := c.world.take(c.rank, root, tag, time.Time{}, false)
+	if err != nil {
+		return fmt.Errorf("mpi: bcast: %w", err)
+	}
+	return decodeFrom(e, "bcast", v)
 }
 
 // Allgather collects one value from every rank and returns the full slice
@@ -259,9 +576,12 @@ func Allgather[T any](c *Comm, v T) ([]T, error) {
 		out := make([]T, w.size)
 		out[0] = v
 		for i := 1; i < w.size; i++ {
-			e := w.boxes[0].take(AnySource, tag)
+			e, err := w.take(0, AnySource, tag, time.Time{}, false)
+			if err != nil {
+				return nil, fmt.Errorf("mpi: allgather: %w", err)
+			}
 			var tv T
-			if err := decode(e.data, &tv); err != nil {
+			if err := decodeFrom(e, "allgather", &tv); err != nil {
 				return nil, err
 			}
 			out[e.src] = tv
@@ -271,7 +591,9 @@ func Allgather[T any](c *Comm, v T) ([]T, error) {
 			return nil, err
 		}
 		for i := 1; i < w.size; i++ {
-			c.sendRaw(i, tag-1, data)
+			if err := c.sendRaw(i, tag-1, data); err != nil {
+				return nil, fmt.Errorf("mpi: allgather: %w", err)
+			}
 		}
 		return out, nil
 	}
@@ -279,10 +601,15 @@ func Allgather[T any](c *Comm, v T) ([]T, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.sendRaw(0, tag, data)
-	e := w.boxes[c.rank].take(0, tag-1)
+	if err := c.sendRaw(0, tag, data); err != nil {
+		return nil, fmt.Errorf("mpi: allgather: %w", err)
+	}
+	e, err := w.take(c.rank, 0, tag-1, time.Time{}, false)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: allgather: %w", err)
+	}
 	var out []T
-	if err := decode(e.data, &out); err != nil {
+	if err := decodeFrom(e, "allgather", &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -296,8 +623,11 @@ func Gather[T any](c *Comm, root int, v T) ([]T, error) {
 		out := make([]T, c.world.size)
 		out[root] = v
 		for i := 0; i < c.world.size-1; i++ {
-			e := c.world.boxes[root].take(AnySource, tag)
-			if err := decode(e.data, &out[e.src]); err != nil {
+			e, err := c.world.take(root, AnySource, tag, time.Time{}, false)
+			if err != nil {
+				return nil, fmt.Errorf("mpi: gather: %w", err)
+			}
+			if err := decodeFrom(e, "gather", &out[e.src]); err != nil {
 				return nil, err
 			}
 		}
@@ -307,7 +637,9 @@ func Gather[T any](c *Comm, root int, v T) ([]T, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.sendRaw(root, tag, data)
+	if err := c.sendRaw(root, tag, data); err != nil {
+		return nil, fmt.Errorf("mpi: gather: %w", err)
+	}
 	return nil, nil
 }
 
@@ -343,13 +675,18 @@ func Alltoall[T any](c *Comm, send []T) ([]T, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.sendRaw(dst, tag, data)
+		if err := c.sendRaw(dst, tag, data); err != nil {
+			return nil, fmt.Errorf("mpi: alltoall: %w", err)
+		}
 	}
 	out := make([]T, c.world.size)
 	out[c.rank] = send[c.rank]
 	for i := 0; i < c.world.size-1; i++ {
-		e := c.world.boxes[c.rank].take(AnySource, tag)
-		if err := decode(e.data, &out[e.src]); err != nil {
+		e, err := c.world.take(c.rank, AnySource, tag, time.Time{}, false)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: alltoall: %w", err)
+		}
+		if err := decodeFrom(e, "alltoall", &out[e.src]); err != nil {
 			return nil, err
 		}
 	}

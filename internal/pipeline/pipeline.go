@@ -13,17 +13,30 @@
 //
 // and reports per-phase wall times, per-item measurements, and (optionally)
 // the rendered fields.
+//
+// Phase 4 has two executors. The default follows the paper's a-priori
+// work-sharing schedule. The fault-tolerant executor (Config.Recovery)
+// replaces it with a runtime protocol — ring buddy checkpoints, per-item
+// progress heartbeats to a coordinator, straggler detection against the
+// model-predicted item costs, and re-dispatch of a failed or yielded
+// rank's unfinished items to its checkpoint buddy — so that the schedule
+// misprediction failures of the paper's Fig 13 (and outright rank deaths)
+// degrade gracefully instead of stalling the job. Runs that suffer
+// unrecoverable loss return a partial Result with per-field status plus an
+// error summary rather than hanging.
 package pipeline
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"godtfe/internal/delaunay"
 	"godtfe/internal/domain"
 	"godtfe/internal/dtfe"
+	"godtfe/internal/fault"
 	"godtfe/internal/geom"
 	"godtfe/internal/grid"
 	"godtfe/internal/kdtree"
@@ -55,7 +68,7 @@ type Config struct {
 	// box boundary see the full periodic neighborhood (cosmological
 	// convention).
 	Periodic bool
-	// LoadBalance enables phases 3's work sharing.
+	// LoadBalance enables phase 3's a-priori work sharing.
 	LoadBalance bool
 	// KeepFields retains rendered grids in the result.
 	KeepFields bool
@@ -65,6 +78,32 @@ type Config struct {
 	MinParticles int
 	// Seed drives the random test-item choice.
 	Seed int64
+
+	// ---- robustness knobs (fault-tolerant Phase 4) -------------------
+
+	// Recovery enables the fault-tolerant Phase 4 executor (buddy
+	// checkpoints, heartbeats, straggler yield, re-dispatch). It replaces
+	// the a-priori work-sharing schedule, so it is mutually exclusive
+	// with LoadBalance.
+	Recovery bool
+	// Fault optionally injects deterministic faults (crashes,
+	// stragglers) at the pipeline's instrumentation points. Message-level
+	// faults are installed on the mpi.World directly.
+	Fault *fault.Injector
+	// HeartbeatEvery is the coordinator's monitoring tick and bounds
+	// failure-detection latency. Default 10ms.
+	HeartbeatEvery time.Duration
+	// StragglerThreshold flags a rank whose measured Phase 4 item times
+	// exceed threshold × the model-predicted times; must exceed 1.
+	// Default 4.
+	StragglerThreshold float64
+	// MaxSendRetries caps mpi-level send retries on injected drops.
+	// Default 5.
+	MaxSendRetries int
+	// DeadTimeout is the silence window after which the recovery
+	// protocol stops waiting for an unresponsive peer and degrades.
+	// Default 50 × HeartbeatEvery.
+	DeadTimeout time.Duration
 }
 
 func (c *Config) fill() error {
@@ -79,6 +118,36 @@ func (c *Config) fill() error {
 	}
 	if c.MinParticles <= 0 {
 		c.MinParticles = 16
+	}
+	if c.Recovery && c.LoadBalance {
+		return errors.New("pipeline: Recovery replaces the a-priori work-sharing schedule; it cannot be combined with LoadBalance")
+	}
+	if c.HeartbeatEvery < 0 {
+		return fmt.Errorf("pipeline: HeartbeatEvery must be >= 0, got %v", c.HeartbeatEvery)
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 10 * time.Millisecond
+	}
+	if c.StragglerThreshold < 0 {
+		return fmt.Errorf("pipeline: StragglerThreshold must not be negative, got %v", c.StragglerThreshold)
+	}
+	if c.StragglerThreshold > 0 && c.StragglerThreshold <= 1 {
+		return fmt.Errorf("pipeline: StragglerThreshold must exceed 1 (a rank is a straggler only when slower than predicted), got %v", c.StragglerThreshold)
+	}
+	if c.StragglerThreshold == 0 {
+		c.StragglerThreshold = 4
+	}
+	if c.MaxSendRetries < 0 {
+		return fmt.Errorf("pipeline: MaxSendRetries must be >= 0, got %d", c.MaxSendRetries)
+	}
+	if c.MaxSendRetries == 0 {
+		c.MaxSendRetries = 5
+	}
+	if c.DeadTimeout < 0 {
+		return fmt.Errorf("pipeline: DeadTimeout must be >= 0, got %v", c.DeadTimeout)
+	}
+	if c.DeadTimeout == 0 {
+		c.DeadTimeout = 50 * c.HeartbeatEvery
 	}
 	return nil
 }
@@ -115,13 +184,49 @@ type ItemRecord struct {
 	RenderTime float64
 	PredTri    float64 // model predictions (0 when modeling was off)
 	PredRender float64
-	Shipped    bool // executed on a rank other than its owner
+	Shipped    bool // executed on a rank other than its owner (a-priori LB)
+	Recovered  bool // re-executed here on behalf of a failed/yielded rank
 }
 
 // Field is one rendered surface-density grid.
 type Field struct {
 	Center geom.Vec3
 	Grid   *grid.Grid2D
+}
+
+// FieldState is the completion status of one field of the work list.
+type FieldState int
+
+const (
+	// FieldDone: computed on its owner as planned.
+	FieldDone FieldState = iota
+	// FieldRecovered: recomputed on a survivor after its owner failed or
+	// yielded.
+	FieldRecovered
+	// FieldLost: unrecoverable (owner and its checkpoint buddy both
+	// failed, or the protocol gave up on it).
+	FieldLost
+)
+
+// String renders the state for logs.
+func (s FieldState) String() string {
+	switch s {
+	case FieldDone:
+		return "done"
+	case FieldRecovered:
+		return "recovered"
+	case FieldLost:
+		return "lost"
+	}
+	return fmt.Sprintf("FieldState(%d)", int(s))
+}
+
+// FieldStatus is the per-field completion record carried by Result.
+type FieldStatus struct {
+	Center geom.Vec3
+	State  FieldState
+	// Owner is the rank the schedule originally assigned the field to.
+	Owner int
 }
 
 // Result is one rank's outcome.
@@ -136,6 +241,36 @@ type Result struct {
 	Received  int   // work items received
 	LocalWork int   // items owned by this rank
 	CommBytes int64 // bytes this rank sent (partition + sharing)
+
+	// Status records the completion state of every field this rank knows
+	// the fate of: fields it computed (done/recovered) and — on the
+	// recovery coordinator — fields declared lost.
+	Status []FieldStatus
+	// Incomplete marks a run that lost peers or fields; Failures carries
+	// the human-readable error summary.
+	Incomplete bool
+	Failures   []string
+}
+
+// execKind says on whose behalf an item is being computed.
+type execKind int
+
+const (
+	execLocal     execKind = iota // this rank's own schedule
+	execShipped                   // received via the a-priori work-sharing schedule
+	execRecovered                 // recomputed for a failed/yielded peer
+)
+
+// degrade converts a peer-failure error into a partial-result return: the
+// rank keeps what it computed, records the failure, and surfaces a
+// non-nil error alongside the Result. Other errors abort as before.
+func degrade(res *Result, stage string, err error) (*Result, error) {
+	if errors.Is(err, mpi.ErrRankFailed) || errors.Is(err, mpi.ErrTimeout) || errors.Is(err, mpi.ErrMessageLost) {
+		res.Incomplete = true
+		res.Failures = append(res.Failures, stage+": "+err.Error())
+		return res, fmt.Errorf("pipeline: incomplete run (%s): %w", stage, err)
+	}
+	return nil, err
 }
 
 // Run executes the framework on this rank. localParticles is this rank's
@@ -146,10 +281,14 @@ func Run(c *mpi.Comm, cfg Config, localParticles []geom.Vec3, centers []geom.Vec
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	c.SetMaxSendRetries(cfg.MaxSendRetries)
 	res := &Result{Rank: c.Rank()}
 	t0 := time.Now()
 
 	// ---- Phase 1: partition & redistribution -------------------------
+	if err := crashCheck(cfg, c.Rank(), fault.PointPhase1, 0); err != nil {
+		return nil, err
+	}
 	ghost := cfg.triCubeSide() / 2
 	dec, err := domain.NewDecomp(cfg.Box, c.Size(), ghost)
 	if err != nil {
@@ -158,10 +297,10 @@ func Run(c *mpi.Comm, cfg Config, localParticles []geom.Vec3, centers []geom.Vec
 	dec.Periodic = cfg.Periodic
 	owned, ghosts, err := domain.Exchange(c, dec, localParticles)
 	if err != nil {
-		return nil, err
+		return degrade(res, "phase 1 exchange", err)
 	}
 	if err := c.Bcast(0, &centers); err != nil {
-		return nil, err
+		return degrade(res, "phase 1 center broadcast", err)
 	}
 	sub := dec.SubVolume(c.Rank())
 	var local []geom.Vec3
@@ -177,9 +316,12 @@ func Run(c *mpi.Comm, cfg Config, localParticles []geom.Vec3, centers []geom.Vec
 	tree := kdtree.New(halo)
 	res.Phases.Partition = time.Since(t0).Seconds()
 
-	rt := &runtime{c: c, cfg: cfg, tree: tree, halo: halo, res: res}
+	rt := &runtime{c: c, cfg: cfg, tree: tree, halo: halo, res: res, owner: c.Rank()}
 
 	// ---- Phase 2: workload modeling -----------------------------------
+	if err := crashCheck(cfg, c.Rank(), fault.PointPhase2, 0); err != nil {
+		return nil, err
+	}
 	tm := time.Now()
 	counts := make([]int, len(local))
 	for i, ctr := range local {
@@ -188,16 +330,17 @@ func Run(c *mpi.Comm, cfg Config, localParticles []geom.Vec3, centers []geom.Vec
 	type sample struct{ N, TTri, TRender float64 }
 	var mine sample
 	done := make([]bool, len(local))
+	samplePick := -1
 	if len(local) > 0 {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(c.Rank())))
-		pick := rng.Intn(len(local))
-		rec := rt.computeItem(local[pick], nil, false)
-		done[pick] = true
+		samplePick = rng.Intn(len(local))
+		rec := rt.computeItem(local[samplePick], nil, execLocal)
+		done[samplePick] = true
 		mine = sample{N: float64(rec.N), TTri: rec.TriTime, TRender: rec.RenderTime}
 	}
 	samples, err := mpi.Allgather(c, mine)
 	if err != nil {
-		return nil, err
+		return degrade(res, "phase 2 sample allgather", err)
 	}
 	var ns, tts, trs []float64
 	for _, s := range samples {
@@ -225,6 +368,9 @@ func Run(c *mpi.Comm, cfg Config, localParticles []geom.Vec3, centers []geom.Vec
 	res.Phases.Model = time.Since(tm).Seconds()
 
 	// ---- Phase 3: work-sharing schedule --------------------------------
+	if err := crashCheck(cfg, c.Rank(), fault.PointPhase3, 0); err != nil {
+		return nil, err
+	}
 	var cl sched.CommList
 	var plan sched.SenderPlan
 	var pending []int // local item indices still to run (non-LB order)
@@ -237,7 +383,7 @@ func Run(c *mpi.Comm, cfg Config, localParticles []geom.Vec3, centers []geom.Vec
 		ts := time.Now()
 		totals, err := mpi.Allgather(c, remaining)
 		if err != nil {
-			return nil, err
+			return degrade(res, "phase 3 load allgather", err)
 		}
 		cl = sched.CreateCommunicationList(totals)
 		sends := cl.SendsFrom(c.Rank())
@@ -256,54 +402,118 @@ func Run(c *mpi.Comm, cfg Config, localParticles []geom.Vec3, centers []geom.Vec
 	}
 
 	// ---- Phase 4: execution & communication ----------------------------
+	if cfg.Recovery && c.Size() > 1 {
+		// Fault-tolerant executor: buddy checkpoints + heartbeats +
+		// re-dispatch; it carries its own termination protocol, so the
+		// final barrier is skipped (dead ranks must not stall it).
+		if err := rt.runRecovery(local, pending, pred, samplePick); err != nil {
+			return degrade(res, "phase 4 recovery", err)
+		}
+		res.CommBytes = c.BytesSent()
+		res.Phases.Total = time.Since(t0).Seconds()
+		if res.Incomplete {
+			return res, fmt.Errorf("pipeline: incomplete run: %s", strings.Join(res.Failures, "; "))
+		}
+		return res, nil
+	}
+
+	var failures []string
 	if !cfg.LoadBalance || c.Size() == 1 {
-		for _, i := range pending {
-			rt.computeItem(local[i], &pred[i], false)
+		for k, i := range pending {
+			if err := crashCheck(cfg, c.Rank(), fault.PointPhase4, k); err != nil {
+				return nil, err
+			}
+			rt.computeTimedItem(local[i], &pred[i], execLocal)
 		}
 	} else if sends := cl.SendsFrom(c.Rank()); len(sends) > 0 {
 		// Sender role.
+		executed := 0
 		for k := range plan.Sends {
 			for _, pi := range plan.GapItems[k] {
+				if err := crashCheck(cfg, c.Rank(), fault.PointPhase4, executed); err != nil {
+					return nil, err
+				}
 				i := pending[pi]
-				rt.computeItem(local[i], &pred[i], false)
+				rt.computeTimedItem(local[i], &pred[i], execLocal)
+				executed++
 			}
 			tw := time.Now()
 			pkg := rt.buildPackage(local, pending, plan.ShipItems[k])
 			if err := c.Send(plan.Sends[k].To, tagWork, pkg); err != nil {
+				if errors.Is(err, mpi.ErrRankFailed) || errors.Is(err, mpi.ErrMessageLost) {
+					failures = append(failures, fmt.Sprintf(
+						"phase 4: shipping %d items to rank %d failed: %v",
+						len(plan.ShipItems[k]), plan.Sends[k].To, err))
+					continue
+				}
 				return nil, err
 			}
 			res.Sent += len(plan.ShipItems[k])
 			res.Phases.WorkShare += time.Since(tw).Seconds()
 		}
 		for _, pi := range plan.Tail {
+			if err := crashCheck(cfg, c.Rank(), fault.PointPhase4, executed); err != nil {
+				return nil, err
+			}
 			i := pending[pi]
-			rt.computeItem(local[i], &pred[i], false)
+			rt.computeTimedItem(local[i], &pred[i], execLocal)
+			executed++
 		}
 	} else {
 		// Receiver (or neutral) role: drain local work, then accept
 		// shipped work in the scheduled order.
-		for _, i := range pending {
-			rt.computeItem(local[i], &pred[i], false)
+		for k, i := range pending {
+			if err := crashCheck(cfg, c.Rank(), fault.PointPhase4, k); err != nil {
+				return nil, err
+			}
+			rt.computeTimedItem(local[i], &pred[i], execLocal)
 		}
 		for _, src := range cl.RecvsAt(c.Rank()) {
 			tw := time.Now()
 			var pkg workPackage
 			if _, err := c.Recv(src, tagWork, &pkg); err != nil {
+				if errors.Is(err, mpi.ErrRankFailed) {
+					// The sender died before shipping: its items are gone
+					// with it under the a-priori schedule. Record and keep
+					// draining other senders.
+					failures = append(failures,
+						fmt.Sprintf("phase 4: work package from rank %d lost: %v", src, err))
+					continue
+				}
 				return nil, err
 			}
 			res.Phases.WorkShare += time.Since(tw).Seconds()
 			res.Received += len(pkg.Centers)
 			ptree := kdtree.New(pkg.Points)
 			for _, ctr := range pkg.Centers {
-				rt.computeItemWith(ctr, ptree, pkg.Points, nil, true)
+				rt.computeItemWith(ctr, ptree, pkg.Points, nil, execShipped)
 			}
 		}
 	}
 
-	c.Barrier()
+	if err := c.Barrier(); err != nil {
+		if errors.Is(err, mpi.ErrRankFailed) {
+			failures = append(failures, "final barrier: "+err.Error())
+		} else {
+			return nil, err
+		}
+	}
 	res.CommBytes = c.BytesSent()
 	res.Phases.Total = time.Since(t0).Seconds()
+	if len(failures) > 0 {
+		res.Incomplete = true
+		res.Failures = append(res.Failures, failures...)
+		return res, fmt.Errorf("pipeline: incomplete run: %s", strings.Join(failures, "; "))
+	}
 	return res, nil
+}
+
+// crashCheck consults the fault injector at an instrumentation point.
+func crashCheck(cfg Config, rank int, point string, progress int) error {
+	if cfg.Fault != nil && cfg.Fault.ShouldCrash(rank, point, progress) {
+		return fault.Crashed(rank, point, progress)
+	}
+	return nil
 }
 
 // workPackage is the payload of a work-sharing message: the shipped field
@@ -314,11 +524,12 @@ type workPackage struct {
 }
 
 type runtime struct {
-	c    *mpi.Comm
-	cfg  Config
-	tree *kdtree.Tree
-	halo []geom.Vec3
-	res  *Result
+	c     *mpi.Comm
+	cfg   Config
+	tree  *kdtree.Tree
+	halo  []geom.Vec3
+	res   *Result
+	owner int // rank whose schedule the current item belongs to
 }
 
 func (rt *runtime) cube(center geom.Vec3) geom.AABB {
@@ -330,13 +541,25 @@ func (rt *runtime) cube(center geom.Vec3) geom.AABB {
 }
 
 // computeItem renders the field at center from the rank's halo particles.
-func (rt *runtime) computeItem(center geom.Vec3, pred *float64, shipped bool) ItemRecord {
-	return rt.computeItemWith(center, rt.tree, rt.halo, pred, shipped)
+func (rt *runtime) computeItem(center geom.Vec3, pred *float64, kind execKind) ItemRecord {
+	return rt.computeItemWith(center, rt.tree, rt.halo, pred, kind)
 }
 
-func (rt *runtime) computeItemWith(center geom.Vec3, tree *kdtree.Tree, pts []geom.Vec3, pred *float64, shipped bool) ItemRecord {
+// computeTimedItem is computeItem plus straggler fault injection: the
+// injected slowdown is charged to the item's wall time so straggler
+// detection sees it.
+func (rt *runtime) computeTimedItem(center geom.Vec3, pred *float64, kind execKind) ItemRecord {
+	t0 := time.Now()
+	rec := rt.computeItem(center, pred, kind)
+	if rt.cfg.Fault != nil {
+		rt.cfg.Fault.StraggleSleep(rt.c.Rank(), time.Since(t0))
+	}
+	return rec
+}
+
+func (rt *runtime) computeItemWith(center geom.Vec3, tree *kdtree.Tree, pts []geom.Vec3, pred *float64, kind execKind) ItemRecord {
 	cfg := rt.cfg
-	rec := ItemRecord{Center: center, Shipped: shipped}
+	rec := ItemRecord{Center: center, Shipped: kind == execShipped, Recovered: kind == execRecovered}
 	idx := tree.InBox(rt.cube(center), nil)
 	rec.N = len(idx)
 	if pred != nil {
@@ -381,6 +604,11 @@ func (rt *runtime) computeItemWith(center geom.Vec3, tree *kdtree.Tree, pts []ge
 	rt.res.Phases.Triangulate += rec.TriTime
 	rt.res.Phases.Render += rec.RenderTime
 	rt.res.Items = append(rt.res.Items, rec)
+	state := FieldDone
+	if kind == execRecovered {
+		state = FieldRecovered
+	}
+	rt.res.Status = append(rt.res.Status, FieldStatus{Center: center, State: state, Owner: rt.owner})
 	if cfg.KeepFields {
 		rt.res.Fields = append(rt.res.Fields, Field{Center: center, Grid: g})
 	}
@@ -435,8 +663,12 @@ func fallbackModel(ns, tts, trs []float64) model.WorkModel {
 
 // String summarizes a result for logs.
 func (r *Result) String() string {
-	return fmt.Sprintf("rank %d: items=%d (sent %d, recv %d) phases{part=%.3fs model=%.3fs tri=%.3fs render=%.3fs share=%.3fs total=%.3fs}",
-		r.Rank, len(r.Items), r.Sent, r.Received,
+	state := ""
+	if r.Incomplete {
+		state = " INCOMPLETE"
+	}
+	return fmt.Sprintf("rank %d: items=%d (sent %d, recv %d)%s phases{part=%.3fs model=%.3fs tri=%.3fs render=%.3fs share=%.3fs total=%.3fs}",
+		r.Rank, len(r.Items), r.Sent, r.Received, state,
 		r.Phases.Partition, r.Phases.Model, r.Phases.Triangulate,
 		r.Phases.Render, r.Phases.WorkShare, r.Phases.Total)
 }

@@ -2,7 +2,9 @@ package pipeline
 
 import (
 	"math"
+	"strings"
 	"testing"
+	"time"
 
 	"godtfe/internal/geom"
 	"godtfe/internal/mpi"
@@ -314,5 +316,43 @@ func TestConfigValidation(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	// Robustness knobs must be validated with descriptive errors.
+	base := Config{Box: unitBox(), FieldLen: 0.1, GridN: 8}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"recovery+loadbalance", func(c *Config) { c.Recovery = true; c.LoadBalance = true }, "LoadBalance"},
+		{"negative heartbeat", func(c *Config) { c.HeartbeatEvery = -time.Second }, "HeartbeatEvery"},
+		{"negative straggler threshold", func(c *Config) { c.StragglerThreshold = -1 }, "StragglerThreshold"},
+		{"sub-unit straggler threshold", func(c *Config) { c.StragglerThreshold = 0.5 }, "exceed 1"},
+		{"negative send retries", func(c *Config) { c.MaxSendRetries = -3 }, "MaxSendRetries"},
+		{"negative dead timeout", func(c *Config) { c.DeadTimeout = -time.Second }, "DeadTimeout"},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		err := cfg.fill()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Defaults are applied when the knobs are unset.
+	cfg := base
+	cfg.Recovery = true
+	if err := cfg.fill(); err != nil {
+		t.Fatalf("valid recovery config rejected: %v", err)
+	}
+	if cfg.HeartbeatEvery != 10*time.Millisecond || cfg.StragglerThreshold != 4 ||
+		cfg.MaxSendRetries != 5 || cfg.DeadTimeout != 50*cfg.HeartbeatEvery {
+		t.Fatalf("defaults not applied: %+v", cfg)
 	}
 }

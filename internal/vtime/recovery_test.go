@@ -1,0 +1,179 @@
+package vtime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func evenItems(ranks, perRank int, cost float64) []Item {
+	items := make([]Item, 0, ranks*perRank)
+	for r := 0; r < ranks; r++ {
+		for i := 0; i < perRank; i++ {
+			items = append(items, Item{Rank: r, Predicted: cost, Actual: cost})
+		}
+	}
+	return items
+}
+
+func TestRecoveryNoFaultMatchesBaseline(t *testing.T) {
+	items := evenItems(4, 5, 1)
+	out := SimulateRecovery(RecoveryConfig{Ranks: 4, HeartbeatInterval: 0.01}, items)
+	if out.Makespan != out.Baseline {
+		t.Fatalf("fault-free makespan %v != baseline %v", out.Makespan, out.Baseline)
+	}
+	if out.Overhead != 0 || out.ItemsRecovered != 0 || out.ItemsLost != 0 {
+		t.Fatalf("fault-free run reported recovery: %+v", out)
+	}
+	if out.ItemsCompleted != len(items) {
+		t.Fatalf("completed %d of %d", out.ItemsCompleted, len(items))
+	}
+}
+
+func TestRecoveryCheckpointCostIsCharged(t *testing.T) {
+	items := evenItems(2, 3, 1)
+	cfg := RecoveryConfig{
+		Ranks:             2,
+		Comm:              CommModel{Latency: 0.5, BytesPerSec: 100, SendOverhead: 0.1},
+		CkptBytesPerRank:  50,
+		HeartbeatInterval: 0.01,
+	}
+	out := SimulateRecovery(cfg, items)
+	wantCkpt := 0.1 + 0.5 + 50.0/100
+	if math.Abs(out.CkptTime-wantCkpt) > 1e-12 {
+		t.Fatalf("ckpt time = %v, want %v", out.CkptTime, wantCkpt)
+	}
+	if math.Abs(out.Overhead-wantCkpt) > 1e-12 {
+		t.Fatalf("fault-free overhead should equal ckpt cost: %v", out.Overhead)
+	}
+}
+
+func TestRecoveryCrashRecomputedByBuddy(t *testing.T) {
+	const ranks, perRank = 4, 5
+	items := evenItems(ranks, perRank, 1)
+	out := SimulateRecovery(RecoveryConfig{
+		Ranks:             ranks,
+		HeartbeatInterval: 0.01,
+		Crashes:           []SimCrash{{Rank: 1, At: 2.5}}, // dies mid item 3
+	}, items)
+	if out.ItemsRecovered != perRank {
+		t.Fatalf("recovered %d items, want %d (full re-execution)", out.ItemsRecovered, perRank)
+	}
+	if out.ItemsLost != 0 || out.LostRanks != 0 {
+		t.Fatalf("unexpected loss: %+v", out)
+	}
+	if out.ItemsCompleted+out.ItemsRecovered != len(items) {
+		t.Fatalf("coverage gap: %d+%d != %d", out.ItemsCompleted, out.ItemsRecovered, len(items))
+	}
+	// Buddy (rank 2) does its own 5 items then rank 1's 5: makespan ~10.
+	if out.Makespan <= out.Baseline {
+		t.Fatalf("crash recovery should cost time: makespan %v baseline %v", out.Makespan, out.Baseline)
+	}
+	if out.Makespan > 2*out.Baseline+1 {
+		t.Fatalf("recovery too slow: %v vs baseline %v", out.Makespan, out.Baseline)
+	}
+	if out.LostWork <= 0 {
+		t.Fatalf("partial progress should be counted as lost work: %+v", out)
+	}
+	if out.MeanDetectionLatency != 0.01 {
+		t.Fatalf("detection latency = %v", out.MeanDetectionLatency)
+	}
+}
+
+func TestRecoveryBuddyCrashLosesWard(t *testing.T) {
+	const ranks, perRank = 4, 4
+	items := evenItems(ranks, perRank, 1)
+	out := SimulateRecovery(RecoveryConfig{
+		Ranks:             ranks,
+		HeartbeatInterval: 0.01,
+		Crashes:           []SimCrash{{Rank: 1, At: 0.5}, {Rank: 2, At: 0.5}},
+	}, items)
+	// Rank 1's ward items are lost (buddy 2 is dead); rank 2's items are
+	// recovered by rank 3.
+	if out.ItemsLost != perRank {
+		t.Fatalf("lost %d items, want %d", out.ItemsLost, perRank)
+	}
+	if out.LostRanks != 1 || out.RecoveredRanks != 1 {
+		t.Fatalf("rank accounting: %+v", out)
+	}
+	if out.ItemsCompleted+out.ItemsRecovered+out.ItemsLost != len(items) {
+		t.Fatalf("items not conserved: %+v", out)
+	}
+}
+
+func TestRecoveryStragglerYieldBoundsMakespan(t *testing.T) {
+	const ranks, perRank = 4, 10
+	items := evenItems(ranks, perRank, 1)
+	slow := map[int]float64{1: 10}
+	noDetect := SimulateRecovery(RecoveryConfig{
+		Ranks: ranks, HeartbeatInterval: 0.01, StragglerFactor: slow,
+	}, items)
+	detect := SimulateRecovery(RecoveryConfig{
+		Ranks: ranks, HeartbeatInterval: 0.01, StragglerThreshold: 2,
+		StragglerFactor: slow,
+	}, items)
+	if noDetect.Makespan < 10*perRank {
+		t.Fatalf("undetected straggler should dominate: %v", noDetect.Makespan)
+	}
+	if detect.Makespan >= noDetect.Makespan/2 {
+		t.Fatalf("yield gained too little: %v -> %v", noDetect.Makespan, detect.Makespan)
+	}
+	if detect.ItemsRecovered == 0 {
+		t.Fatal("no items re-dispatched from the straggler")
+	}
+	if detect.ItemsCompleted+detect.ItemsRecovered != len(items) {
+		t.Fatalf("coverage gap: %+v", detect)
+	}
+}
+
+func TestRecoveryLargeScaleConservation(t *testing.T) {
+	const ranks = 4096
+	rng := rand.New(rand.NewSource(7))
+	items := make([]Item, ranks*8)
+	for i := range items {
+		a := rng.ExpFloat64()
+		items[i] = Item{Rank: rng.Intn(ranks), Predicted: a, Actual: a}
+	}
+	var crashes []SimCrash
+	for r := 0; r < ranks; r += 100 { // 1% failure rate
+		crashes = append(crashes, SimCrash{Rank: r + 1, At: 1 + rng.Float64()*3})
+	}
+	out := SimulateRecovery(RecoveryConfig{
+		Ranks: ranks, HeartbeatInterval: 1e-3, Crashes: crashes,
+	}, items)
+	if out.ItemsCompleted+out.ItemsRecovered+out.ItemsLost != len(items) {
+		t.Fatalf("items not conserved at scale: %+v", out)
+	}
+	if out.RecoveredRanks != len(crashes) {
+		t.Fatalf("recovered %d of %d crashed ranks", out.RecoveredRanks, len(crashes))
+	}
+	if out.Overhead < 0 {
+		t.Fatalf("negative overhead: %+v", out)
+	}
+	if out.LostWork <= 0 {
+		t.Fatalf("crashes should waste work: %+v", out)
+	}
+}
+
+func BenchmarkSimulateRecovery4k(b *testing.B) {
+	const ranks = 4096
+	rng := rand.New(rand.NewSource(11))
+	items := make([]Item, ranks*14)
+	for i := range items {
+		a := rng.ExpFloat64()
+		items[i] = Item{Rank: rng.Intn(ranks), Predicted: a, Actual: a * (1 + 0.05*rng.NormFloat64())}
+	}
+	var crashes []SimCrash
+	for r := 0; r < ranks; r += 50 {
+		crashes = append(crashes, SimCrash{Rank: r, At: rng.Float64() * 10})
+	}
+	cfg := RecoveryConfig{
+		Ranks: ranks, Comm: CommModel{Latency: 5e-6, BytesPerSec: 3e9, SendOverhead: 2e-5},
+		HeartbeatInterval: 1e-3, StragglerThreshold: 4,
+		CkptBytesPerRank: 1 << 20, Crashes: crashes,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulateRecovery(cfg, items)
+	}
+}
