@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race bench ci
+.PHONY: build test tier1 vet race bench fuzz nopanic ci
 
 build:
 	$(GO) build ./...
@@ -22,4 +22,19 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-ci: tier1 vet race
+# Fuzz smoke: a short budget per target keeps CI fast while still
+# exercising the mutation engine against the typed-error contracts.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParticleIO -fuzztime 10s ./internal/particleio/
+	$(GO) test -run '^$$' -fuzz FuzzDelaunayInsert -fuzztime 10s ./internal/delaunay/
+
+# The hardened layers (geometry, ingestion, render) must stay panic-free:
+# every failure goes through the geomerr taxonomy instead.
+nopanic:
+	@bad=$$(grep -n 'panic(' internal/delaunay/*.go internal/particleio/*.go internal/render/*.go | grep -v _test.go || true); \
+	if [ -n "$$bad" ]; then \
+		echo "panic() found in hardened production code:"; echo "$$bad"; exit 1; \
+	fi
+	@echo "nopanic: clean"
+
+ci: tier1 vet nopanic race fuzz

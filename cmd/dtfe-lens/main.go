@@ -34,14 +34,22 @@ func main() {
 	sigmaCrit := flag.Float64("sigmacrit", 0, "critical surface density (0 = auto: 1/3 of the max Σ, a strong-lens regime)")
 	outdir := flag.String("outdir", ".", "output directory for PGM maps")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "render workers")
+	ingest := flag.String("ingest", "fail", "invalid-particle policy: fail | drop | clamp")
 	flag.Parse()
 
 	if !fft.IsPow2(*gridN) {
 		log.Fatalf("grid %d must be a power of two for the FFT solvers", *gridN)
 	}
-	pts, err := particleio.ReadAll(*in)
+	policy, err := particleio.ParsePolicy(*ingest)
+	if err != nil {
+		log.Fatalf("ingest: %v", err)
+	}
+	pts, rep, err := particleio.ReadAllValidated(*in, particleio.ValidateOptions{Policy: policy})
 	if err != nil {
 		log.Fatalf("read: %v", err)
+	}
+	if !rep.Clean() {
+		fmt.Printf("%v\n", rep)
 	}
 	box := geom.BoundsOf(pts)
 	fmt.Printf("%d particles\n", len(pts))
@@ -60,9 +68,12 @@ func main() {
 		Min: geom.Vec2{X: box.Min.X, Y: box.Min.Y}, Nx: *gridN, Ny: *gridN, Cell: cell,
 		ZMin: box.Min.Z, ZMax: box.Max.Z,
 	}
-	sigma, _, err := render.NewMarcher(field).Render(spec, *workers, render.ScheduleDynamic)
+	sigma, stats, err := render.NewMarcher(field).Render(spec, *workers, render.ScheduleDynamic)
 	if err != nil {
 		log.Fatalf("render: %v", err)
+	}
+	if oc := render.TotalOutcomes(stats); oc.Degraded() > 0 {
+		fmt.Printf("columns: %v\n", oc)
 	}
 	_, hi := sigma.MinMax()
 	sc := *sigmaCrit

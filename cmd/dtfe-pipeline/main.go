@@ -20,6 +20,7 @@ import (
 	"godtfe/internal/mpi"
 	"godtfe/internal/particleio"
 	"godtfe/internal/pipeline"
+	"godtfe/internal/render"
 	"godtfe/internal/sched"
 	"godtfe/internal/stats"
 	"godtfe/internal/synth"
@@ -36,11 +37,21 @@ func main() {
 	periodic := flag.Bool("periodic", false, "wrap ghost zones across box faces")
 	showSched := flag.Bool("schedule", false, "print the work-sharing schedule (paper Fig 4 style)")
 	seed := flag.Int64("seed", 3, "random seed")
+	ingest := flag.String("ingest", "fail", "invalid-particle policy: fail | drop | clamp")
 	flag.Parse()
 
-	pts, err := particleio.ReadAll(*in)
+	policy, err := particleio.ParsePolicy(*ingest)
+	if err != nil {
+		log.Fatalf("ingest: %v", err)
+	}
+	// Sanitize at read time: a single NaN would otherwise poison the
+	// bounding box and the whole decomposition below.
+	pts, rep, err := particleio.ReadAllValidated(*in, particleio.ValidateOptions{Policy: policy})
 	if err != nil {
 		log.Fatalf("read: %v", err)
+	}
+	if !rep.Clean() {
+		fmt.Printf("%v\n", rep)
 	}
 	box := geom.BoundsOf(pts)
 
@@ -71,6 +82,7 @@ func main() {
 		LoadBalance: *lb,
 		Periodic:    *periodic,
 		Seed:        *seed,
+		Ingest:      particleio.ValidateOptions{Policy: policy},
 	}
 	// Sanity: decomposition must be constructible.
 	if _, err := domain.NewDecomp(box, *ranks, *fieldLen); err != nil {
@@ -100,15 +112,26 @@ func main() {
 
 	var compute []float64
 	items, sent := 0, 0
+	var ing particleio.IngestReport
+	var cols render.OutcomeCounts
 	for _, r := range results {
 		fmt.Println(r)
 		compute = append(compute, r.Phases.Triangulate+r.Phases.Render)
 		items += len(r.Items)
 		sent += r.Sent
+		ing.Add(r.Ingest)
+		cols.Add(r.Columns)
+		for _, f := range r.Failures {
+			fmt.Printf("  FAILED: %s\n", f)
+		}
 	}
 	s := stats.Summarize(compute)
 	fmt.Printf("\n%d fields over %d ranks (%d shipped); compute imbalance std/mean = %.3f\n",
 		items, *ranks, sent, s.NormalizedStd())
+	if !ing.Clean() {
+		fmt.Printf("%v\n", ing)
+	}
+	fmt.Printf("columns: %v\n", cols)
 	if *showSched {
 		// Reconstruct the schedule the run would have built from the
 		// measured per-rank compute times (Fig 4 of the paper).

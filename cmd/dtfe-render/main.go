@@ -31,11 +31,19 @@ func main() {
 	samples := flag.Int("samples", 1, "Monte Carlo lines per cell")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "render workers")
 	out := flag.String("o", "sigma.pgm", "output PGM path")
+	ingest := flag.String("ingest", "fail", "invalid-particle policy: fail | drop | clamp")
 	flag.Parse()
 
-	pts, err := particleio.ReadAll(*in)
+	policy, err := particleio.ParsePolicy(*ingest)
+	if err != nil {
+		log.Fatalf("ingest: %v", err)
+	}
+	pts, rep, err := particleio.ReadAllValidated(*in, particleio.ValidateOptions{Policy: policy})
 	if err != nil {
 		log.Fatalf("read: %v", err)
+	}
+	if !rep.Clean() {
+		fmt.Printf("%v\n", rep)
 	}
 	box := geom.BoundsOf(pts)
 	fmt.Printf("%d particles in [%g..%g]x[%g..%g]x[%g..%g]\n", len(pts),
@@ -89,6 +97,9 @@ func main() {
 	}
 	fmt.Printf("render (%s): %v wall, %v total worker busy\n",
 		*kernel, time.Since(t1).Round(time.Millisecond), render.TotalBusy(stats).Round(time.Millisecond))
+	if oc := render.TotalOutcomes(stats); oc.Total() > 0 {
+		fmt.Printf("columns: %v\n", oc)
+	}
 	lo, hi := g.MinMax()
 	fmt.Printf("sigma: min=%.4g max=%.4g projected mass=%.6g (input %d)\n",
 		lo, hi, g.Integral(), len(pts))

@@ -81,7 +81,7 @@ func main() {
 				}
 			}
 			q := d.Scale(r / d.Norm())
-			if v, ok := field.At(q); ok {
+			if v, ok, _ := field.At(q); ok {
 				sum += v
 				n++
 			}

@@ -32,11 +32,65 @@ import (
 	"godtfe/internal/delaunay"
 	"godtfe/internal/dtfe"
 	"godtfe/internal/geom"
+	"godtfe/internal/geomerr"
 	"godtfe/internal/grid"
 	"godtfe/internal/mpi"
+	"godtfe/internal/particleio"
 	"godtfe/internal/pipeline"
 	"godtfe/internal/render"
 )
+
+// Error taxonomy: every failure of the geometry and ingestion layers
+// matches exactly one of these sentinels under errors.Is, forming the
+// degradation ladder (panic → error → drop → partial result) documented
+// in DESIGN.md.
+var (
+	// ErrDegenerateInput: the input itself is unusable (non-finite
+	// coordinates, all points coplanar, a degenerate query).
+	ErrDegenerateInput = geomerr.ErrDegenerateInput
+	// ErrLocateDiverged: a point-location walk failed to terminate.
+	ErrLocateDiverged = geomerr.ErrLocateDiverged
+	// ErrMeshCorrupt: a structural invariant of the triangulation broke.
+	ErrMeshCorrupt = geomerr.ErrMeshCorrupt
+	// ErrBadParticle: one particle of a catalog is invalid.
+	ErrBadParticle = geomerr.ErrBadParticle
+	// ErrBadFormat: a particle file is malformed or truncated.
+	ErrBadFormat = geomerr.ErrBadFormat
+)
+
+// IngestPolicy selects what happens to invalid particles during catalog
+// sanitization: PolicyFail (reject the catalog), PolicyDrop (discard and
+// count), or PolicyClamp (repair what is repairable).
+type IngestPolicy = particleio.Policy
+
+// Ingestion policies.
+const (
+	PolicyFail  = particleio.PolicyFail
+	PolicyDrop  = particleio.PolicyDrop
+	PolicyClamp = particleio.PolicyClamp
+)
+
+// IngestOptions configures SanitizeParticles (policy, domain box,
+// duplicate handling).
+type IngestOptions = particleio.ValidateOptions
+
+// IngestReport tallies what sanitization did to a catalog.
+type IngestReport = particleio.IngestReport
+
+// SanitizeParticles validates a particle catalog under the given policy:
+// non-finite coordinates, non-positive masses, and out-of-domain
+// positions are rejected, dropped, or repaired, and coincident points
+// optionally merged or deterministically jittered. masses may be nil.
+func SanitizeParticles(points []Vec3, masses []float64, opts IngestOptions) ([]Vec3, []float64, IngestReport, error) {
+	return particleio.ValidateParticles(points, masses, opts)
+}
+
+// ColumnOutcomes aggregates per-column march outcomes
+// (clean/perturbed/fallback/abandoned) across a render.
+type ColumnOutcomes = render.OutcomeCounts
+
+// RenderOutcomes sums the per-worker column outcome counters of a render.
+func RenderOutcomes(stats []WorkerStat) ColumnOutcomes { return render.TotalOutcomes(stats) }
 
 // Vec3 is a point or vector in R^3 (z is the line-of-sight axis).
 type Vec3 = geom.Vec3

@@ -116,7 +116,11 @@ func (t *Triangulation) ValidateDelaunay() error {
 			if inTet {
 				continue
 			}
-			if t.conflicts(int32(i), t.pts[v]) {
+			c, err := t.conflicts(int32(i), t.pts[v])
+			if err != nil {
+				return err
+			}
+			if c {
 				return fmt.Errorf("vertex %d violates circumsphere of tet %d (verts %v)", v, i, tt.V)
 			}
 		}

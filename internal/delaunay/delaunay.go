@@ -13,10 +13,10 @@
 package delaunay
 
 import (
-	"errors"
 	"fmt"
 
 	"godtfe/internal/geom"
+	"godtfe/internal/geomerr"
 )
 
 // Inf is the symbolic infinite vertex index.
@@ -96,7 +96,10 @@ type faceRef struct {
 
 // New builds the Delaunay triangulation of pts. Points are inserted in
 // Morton order for locality. Exact duplicates are merged (see DuplicateOf).
-// It returns an error if fewer than four affinely independent points exist.
+// It returns geomerr.ErrDegenerateInput if any point is non-finite or
+// fewer than four affinely independent points exist, and
+// geomerr.ErrMeshCorrupt if a structural invariant breaks during
+// construction (the triangulation is then unusable). It never panics.
 func New(pts []geom.Vec3) (*Triangulation, error) {
 	return build(pts, true)
 }
@@ -110,7 +113,18 @@ func NewInputOrder(pts []geom.Vec3) (*Triangulation, error) {
 
 func build(pts []geom.Vec3, morton bool) (*Triangulation, error) {
 	if len(pts) < 4 {
-		return nil, errors.New("delaunay: need at least 4 points")
+		return nil, geomerr.Degenerate("delaunay.New", "need at least 4 points, got %d", len(pts))
+	}
+	// The exact predicates (and the Morton sort) require finite
+	// coordinates; reject NaN/Inf up front with the offending index. The
+	// error matches both ErrDegenerateInput (the build category) and
+	// ErrBadParticle (the per-particle detail).
+	for i, p := range pts {
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("delaunay.New: %w: %w",
+				geomerr.ErrDegenerateInput,
+				&geomerr.BadParticleError{Index: i, Reason: fmt.Sprintf("non-finite coordinate %v", p)})
+		}
 	}
 	t := &Triangulation{
 		pts:      pts,
@@ -142,7 +156,9 @@ func build(pts []geom.Vec3, morton bool) (*Triangulation, error) {
 		if used[v] {
 			continue
 		}
-		t.insert(v)
+		if err := t.insert(v); err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }
@@ -174,7 +190,7 @@ func (t *Triangulation) initFirstTet(order []int) (map[int32]bool, error) {
 		}
 	}
 	if i3 == NoTet {
-		return nil, errors.New("delaunay: all points are coplanar")
+		return nil, geomerr.Degenerate("delaunay.New", "all points are coplanar")
 	}
 	if geom.Orient3D(p[i0], p[i1], p[i2], p[i3]) < 0 {
 		i1, i2 = i2, i1

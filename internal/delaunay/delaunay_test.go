@@ -226,7 +226,10 @@ func TestLocateContainment(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
 	for trial := 0; trial < 300; trial++ {
 		q := geom.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
-		ti := tri.Locate(q)
+		ti, err := tri.Locate(q)
+		if err != nil {
+			t.Fatalf("Locate(%v): %v", q, err)
+		}
 		if tri.IsInfinite(ti) {
 			// q outside the hull: verify it is outside at least one
 			// outward hull facet of that infinite tet.
@@ -250,7 +253,10 @@ func TestLocateOutsidePoints(t *testing.T) {
 	for _, q := range []geom.Vec3{
 		{X: 5, Y: 5, Z: 5}, {X: -3, Y: 0.5, Z: 0.5}, {X: 0.5, Y: 9, Z: 0.5},
 	} {
-		ti := tri.Locate(q)
+		ti, err := tri.Locate(q)
+		if err != nil {
+			t.Fatalf("Locate(%v): %v", q, err)
+		}
 		if !tri.IsInfinite(ti) {
 			t.Fatalf("point %v should locate outside the hull", q)
 		}
@@ -261,7 +267,10 @@ func TestLocateVertexQuery(t *testing.T) {
 	pts := randPoints(120, 41)
 	tri := buildOrFatal(t, pts)
 	for v := 0; v < 120; v += 7 {
-		ti := tri.Locate(pts[v])
+		ti, err := tri.Locate(pts[v])
+		if err != nil {
+			t.Fatalf("Locate(pts[%d]): %v", v, err)
+		}
 		found := false
 		for _, u := range tri.Tets()[ti].V {
 			if u == int32(v) {
@@ -395,7 +404,7 @@ func BenchmarkLocate(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tri.Locate(qs[i%len(qs)])
+		tri.Locate(qs[i%len(qs)]) //nolint:errcheck // benchmark
 	}
 }
 

@@ -1,0 +1,108 @@
+package delaunay
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"godtfe/internal/geom"
+	"godtfe/internal/geomerr"
+)
+
+// decodeFuzzPoints maps raw fuzz bytes onto a point set biased toward the
+// triangulator's hard cases: each coordinate is one byte quantized to a
+// 1/16 lattice (so duplicates, collinear runs, coplanar sheets, and
+// cospherical shells are common), with two reserved byte values injecting
+// non-finite coordinates.
+func decodeFuzzPoints(data []byte, maxPts int) []geom.Vec3 {
+	n := len(data) / 3
+	if n > maxPts {
+		n = maxPts
+	}
+	pts := make([]geom.Vec3, 0, n)
+	coord := func(b byte) float64 {
+		switch b {
+		case 0xff:
+			return math.NaN()
+		case 0xfe:
+			return math.Inf(1)
+		}
+		return float64(b) / 16
+	}
+	for i := 0; i < n; i++ {
+		pts = append(pts, geom.Vec3{
+			X: coord(data[3*i]),
+			Y: coord(data[3*i+1]),
+			Z: coord(data[3*i+2]),
+		})
+	}
+	return pts
+}
+
+// FuzzDelaunayInsert feeds degenerate point sets to the incremental
+// triangulator. The contract: New either succeeds with a mesh that passes
+// the structural validator, or fails with an error in the typed taxonomy
+// (ErrDegenerateInput for unusable input, ErrMeshCorrupt/ErrLocateDiverged
+// for internal failures) — it must never panic.
+func FuzzDelaunayInsert(f *testing.F) {
+	seed := func(pts []geom.Vec3) {
+		b := make([]byte, 0, 3*len(pts))
+		for _, p := range pts {
+			enc := func(v float64) byte {
+				if math.IsNaN(v) {
+					return 0xff
+				}
+				if math.IsInf(v, 0) {
+					return 0xfe
+				}
+				return byte(v * 16)
+			}
+			b = append(b, enc(p.X), enc(p.Y), enc(p.Z))
+		}
+		f.Add(b)
+	}
+
+	// Historical panic triggers: every seed below used to reach a panic()
+	// in the insertion, predicate, or cavity code before the taxonomy.
+	same := geom.Vec3{X: 1, Y: 1, Z: 1}
+	seed([]geom.Vec3{same, same, same, same, same})
+	var collinear []geom.Vec3
+	for i := 0; i < 6; i++ {
+		collinear = append(collinear, geom.Vec3{X: float64(i), Y: float64(i), Z: float64(i)})
+	}
+	seed(collinear)
+	var sheet []geom.Vec3
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			sheet = append(sheet, geom.Vec3{X: float64(i), Y: float64(j), Z: 2})
+		}
+	}
+	seed(sheet)
+	seed([]geom.Vec3{{X: math.NaN()}, {X: 1}, {Y: 1}, {Z: 1}})
+	var lattice []geom.Vec3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				lattice = append(lattice, geom.Vec3{X: float64(i), Y: float64(j), Z: float64(k)})
+			}
+		}
+	}
+	seed(lattice) // cospherical shells everywhere
+	seed([]geom.Vec3{{}, {X: 1}, {Y: 1}, {Z: 1}, {X: 1, Y: 1, Z: 1}, {X: math.Inf(1)}})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts := decodeFuzzPoints(data, 48)
+		tri, err := New(pts)
+		if err != nil {
+			if !errors.Is(err, geomerr.ErrDegenerateInput) &&
+				!errors.Is(err, geomerr.ErrMeshCorrupt) &&
+				!errors.Is(err, geomerr.ErrLocateDiverged) {
+				t.Fatalf("error outside the taxonomy: %v", err)
+			}
+			return
+		}
+		if err := tri.Validate(); err != nil {
+			t.Fatalf("accepted mesh fails validation: %v", err)
+		}
+	})
+}

@@ -1,9 +1,8 @@
 package delaunay
 
 import (
-	"fmt"
-
 	"godtfe/internal/geom"
+	"godtfe/internal/geomerr"
 )
 
 // nextRand is a small xorshift64* PRNG used only to randomize the face
@@ -20,8 +19,10 @@ func (t *Triangulation) nextRand() uint64 {
 
 // Locate returns a live tetrahedron whose closure contains p, walking from
 // an internal hint. The result is an infinite tet when p lies outside the
-// convex hull.
-func (t *Triangulation) Locate(p geom.Vec3) int32 {
+// convex hull. It returns geomerr.ErrDegenerateInput for a non-finite
+// query and geomerr.ErrLocateDiverged if the walk fails to terminate
+// (possible only on a corrupted mesh).
+func (t *Triangulation) Locate(p geom.Vec3) (int32, error) {
 	return t.LocateFrom(t.last, p)
 }
 
@@ -30,17 +31,24 @@ func (t *Triangulation) Locate(p geom.Vec3) int32 {
 // stochastic visibility walk: from a finite tet, move through any face
 // whose outward side strictly contains p. The walk terminates on Delaunay
 // triangulations.
-func (t *Triangulation) LocateFrom(start int32, p geom.Vec3) int32 {
-	ti, _ := t.LocateFromCount(start, p)
-	return ti
+func (t *Triangulation) LocateFrom(start int32, p geom.Vec3) (int32, error) {
+	ti, _, err := t.LocateFromCount(start, p)
+	return ti, err
 }
 
 // LocateFromCount is LocateFrom reporting the number of tetrahedra visited
 // (the walk length, the cost driver of walking-based grid rendering).
-func (t *Triangulation) LocateFromCount(start int32, p geom.Vec3) (int32, int) {
+func (t *Triangulation) LocateFromCount(start int32, p geom.Vec3) (int32, int, error) {
+	if !p.IsFinite() {
+		return NoTet, 0, geomerr.Degenerate("delaunay.Locate", "non-finite query point %v", p)
+	}
 	cur := start
 	if cur < 0 || cur >= int32(len(t.tets)) || t.dead[cur] {
-		cur = t.anyLiveTet()
+		var err error
+		cur, err = t.anyLiveTet()
+		if err != nil {
+			return NoTet, 0, err
+		}
 	}
 	// If we start on an infinite tet, step into the hull first.
 	if s := t.tets[cur].InfSlot(); s >= 0 {
@@ -51,7 +59,7 @@ func (t *Triangulation) LocateFromCount(start int32, p geom.Vec3) (int32, int) {
 		tt := &t.tets[cur]
 		if tt.InfSlot() >= 0 {
 			// p escaped the hull: it belongs to this infinite region.
-			return cur, step + 1
+			return cur, step + 1, nil
 		}
 		off := int(t.nextRand() & 3)
 		moved := false
@@ -66,7 +74,7 @@ func (t *Triangulation) LocateFromCount(start int32, p geom.Vec3) (int32, int) {
 			}
 		}
 		if !moved {
-			return cur, step + 1
+			return cur, step + 1, nil
 		}
 	}
 	// Should be unreachable with exact predicates; fall back to scanning.
@@ -75,19 +83,19 @@ func (t *Triangulation) LocateFromCount(start int32, p geom.Vec3) (int32, int) {
 			continue
 		}
 		if t.containsPoint(int32(i), p) {
-			return int32(i), maxSteps
+			return int32(i), maxSteps, nil
 		}
 	}
-	panic("delaunay: locate failed to converge")
+	return NoTet, maxSteps, &geomerr.LocateError{Op: "delaunay.Locate", Steps: maxSteps}
 }
 
-func (t *Triangulation) anyLiveTet() int32 {
+func (t *Triangulation) anyLiveTet() (int32, error) {
 	for i := range t.tets {
 		if !t.dead[i] {
-			return int32(i)
+			return int32(i), nil
 		}
 	}
-	panic("delaunay: no live tets")
+	return NoTet, geomerr.Corrupt("delaunay.Locate", "no live tets")
 }
 
 func (t *Triangulation) containsPoint(ti int32, p geom.Vec3) bool {
@@ -108,7 +116,7 @@ func (t *Triangulation) containsPoint(ti int32, p geom.Vec3) bool {
 // exactly on the facet plane, membership in the facet's circumdisk is
 // equivalent to membership in the circumball of the finite cell behind the
 // facet, so that cell's perturbed test decides the tie consistently.
-func (t *Triangulation) conflicts(ti int32, p geom.Vec3) bool {
+func (t *Triangulation) conflicts(ti int32, p geom.Vec3) (bool, error) {
 	tt := &t.tets[ti]
 	if s := tt.InfSlot(); s >= 0 {
 		ft := faceTable[s]
@@ -117,59 +125,84 @@ func (t *Triangulation) conflicts(ti int32, p geom.Vec3) bool {
 		// interior; p conflicts when on the infinite (negative) side.
 		o := geom.Orient3D(t.pts[a], t.pts[b], t.pts[c], p)
 		if o < 0 {
-			return true
+			return true, nil
 		}
 		if o > 0 {
-			return false
+			return false, nil
 		}
 		return t.conflicts(tt.N[s], p) // finite neighbor shares the disk
 	}
 	pa, pb, pc, pd := t.pts[tt.V[0]], t.pts[tt.V[1]], t.pts[tt.V[2]], t.pts[tt.V[3]]
 	if s := geom.InSphere(pa, pb, pc, pd, p); s != 0 {
-		return s > 0
+		return s > 0, nil
 	}
-	return inSpherePerturbed(pa, pb, pc, pd, p) > 0
+	s, err := inSpherePerturbed(pa, pb, pc, pd, p)
+	if err != nil {
+		return false, err
+	}
+	return s > 0, nil
 }
 
 // insert adds vertex v to the triangulation. Exact duplicates are recorded
-// in dupOf and skipped.
-func (t *Triangulation) insert(v int32) {
+// in dupOf and skipped. A non-nil error reports either degenerate input
+// the symbolic perturbation could not absorb (geomerr.ErrDegenerateInput)
+// or a broken structural invariant (geomerr.ErrMeshCorrupt); in both cases
+// the triangulation must be discarded.
+func (t *Triangulation) insert(v int32) error {
 	p := t.pts[v]
-	loc := t.LocateFrom(t.last, p)
+	loc, err := t.LocateFrom(t.last, p)
+	if err != nil {
+		return err
+	}
 
 	// Duplicate check: if p coincides with a vertex of the containing tet,
 	// merge instead of inserting.
 	for _, u := range t.tets[loc].V {
 		if u != Inf && t.pts[u] == p {
 			t.dupOf[v] = u
-			return
+			return nil
 		}
 	}
 
-	seed := t.findConflictSeed(loc, p)
+	seed, err := t.findConflictSeed(loc, p)
+	if err != nil {
+		return err
+	}
 	if seed == NoTet {
 		// Exactly cospherical with everything relevant but not a duplicate
-		// cannot happen for a point in the closure of a live tet; guard
-		// anyway to fail loudly rather than corrupt the structure.
-		panic(fmt.Sprintf("delaunay: no conflict seed for point %v", p))
+		// cannot happen for a point in the closure of a live tet; fail
+		// loudly rather than corrupt the structure.
+		return geomerr.Corrupt("delaunay.insert", "no conflict seed for point %v", p)
 	}
 
-	t.carveCavity(seed, p)
-	t.fillCavity(v)
+	if err := t.carveCavity(seed, p); err != nil {
+		return err
+	}
+	if err := t.fillCavity(v); err != nil {
+		return err
+	}
 	t.insertedCount++
+	return nil
 }
 
 // findConflictSeed returns a tet in conflict with p, searching outward from
 // loc (which should contain p in its closure).
-func (t *Triangulation) findConflictSeed(loc int32, p geom.Vec3) int32 {
-	if t.conflicts(loc, p) {
-		return loc
+func (t *Triangulation) findConflictSeed(loc int32, p geom.Vec3) (int32, error) {
+	if c, err := t.conflicts(loc, p); err != nil {
+		return NoTet, err
+	} else if c {
+		return loc, nil
 	}
 	// p may sit exactly on a boundary face of loc with its open
 	// circumball empty; a neighbor must then conflict.
 	for _, n := range t.tets[loc].N {
-		if n != NoTet && !t.dead[n] && t.conflicts(n, p) {
-			return n
+		if n == NoTet || t.dead[n] {
+			continue
+		}
+		if c, err := t.conflicts(n, p); err != nil {
+			return NoTet, err
+		} else if c {
+			return n, nil
 		}
 	}
 	for _, n := range t.tets[loc].N {
@@ -177,17 +210,22 @@ func (t *Triangulation) findConflictSeed(loc int32, p geom.Vec3) int32 {
 			continue
 		}
 		for _, m := range t.tets[n].N {
-			if m != NoTet && !t.dead[m] && t.conflicts(m, p) {
-				return m
+			if m == NoTet || t.dead[m] {
+				continue
+			}
+			if c, err := t.conflicts(m, p); err != nil {
+				return NoTet, err
+			} else if c {
+				return m, nil
 			}
 		}
 	}
-	return NoTet
+	return NoTet, nil
 }
 
 // carveCavity flood-fills the conflict region from seed, recording cavity
 // tets and the outward-oriented boundary faces.
-func (t *Triangulation) carveCavity(seed int32, p geom.Vec3) {
+func (t *Triangulation) carveCavity(seed int32, p geom.Vec3) error {
 	t.epoch++
 	t.cavity = t.cavity[:0]
 	t.border = t.border[:0]
@@ -204,7 +242,11 @@ func (t *Triangulation) carveCavity(seed int32, p geom.Vec3) {
 			if t.mark[n] == t.epoch {
 				continue
 			}
-			if t.conflicts(n, p) {
+			c, err := t.conflicts(n, p)
+			if err != nil {
+				return err
+			}
+			if c {
 				t.mark[n] = t.epoch
 				t.cavity = append(t.cavity, n)
 				stack = append(stack, n)
@@ -221,7 +263,7 @@ func (t *Triangulation) carveCavity(seed int32, p geom.Vec3) {
 				}
 			}
 			if g < 0 {
-				panic("delaunay: neighbor symmetry violated")
+				return geomerr.Corrupt("delaunay.insert", "neighbor symmetry violated between tets %d and %d", cur, n)
 			}
 			t.border = append(t.border, borderFace{
 				outside:     n,
@@ -230,11 +272,12 @@ func (t *Triangulation) carveCavity(seed int32, p geom.Vec3) {
 			})
 		}
 	}
+	return nil
 }
 
 // fillCavity deletes the cavity and retriangulates it as the star of vertex
 // v over the boundary faces, rebuilding all adjacency.
-func (t *Triangulation) fillCavity(v int32) {
+func (t *Triangulation) fillCavity(v int32) error {
 	for _, ti := range t.cavity {
 		t.killTet(ti)
 	}
@@ -274,9 +317,10 @@ func (t *Triangulation) fillCavity(v int32) {
 		}
 	}
 	if len(t.edgeLink) != 0 {
-		panic("delaunay: cavity retriangulation left unmatched faces")
+		return geomerr.Corrupt("delaunay.insert", "cavity retriangulation left %d unmatched faces", len(t.edgeLink))
 	}
 	t.last = lastNew
+	return nil
 }
 
 func edgeKey(a, b int32) uint64 {

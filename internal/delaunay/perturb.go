@@ -1,6 +1,9 @@
 package delaunay
 
-import "godtfe/internal/geom"
+import (
+	"godtfe/internal/geom"
+	"godtfe/internal/geomerr"
+)
 
 // Symbolic perturbation for exactly-cospherical point sets, following
 // Devillers & Teillaud ("Perturbations for Delaunay and weighted Delaunay
@@ -26,7 +29,9 @@ func ptLess(a, b geom.Vec3) bool {
 // inSpherePerturbed resolves InSphere(a,b,c,d,e) == 0 symbolically.
 // (a,b,c,d) must be positively oriented and all five points pairwise
 // distinct. Returns +1 (treat e as inside) or -1 (outside); never 0.
-func inSpherePerturbed(a, b, c, d, e geom.Vec3) int {
+// A geomerr.ErrDegenerateInput error reports input the perturbation cannot
+// break (duplicate points among the five).
+func inSpherePerturbed(a, b, c, d, e geom.Vec3) (int, error) {
 	// Process points from lexicographically largest to smallest; the first
 	// whose removal yields a non-degenerate sub-determinant decides.
 	idx := [5]int{0, 1, 2, 3, 4}
@@ -42,24 +47,24 @@ func inSpherePerturbed(a, b, c, d, e geom.Vec3) int {
 	for _, k := range idx {
 		switch k {
 		case 4: // the query point itself: perturbed strictly outside
-			return -1
+			return -1, nil
 		case 3:
 			if o := geom.Orient3D(a, b, c, e); o != 0 {
-				return o
+				return o, nil
 			}
 		case 2:
 			if o := geom.Orient3D(a, b, d, e); o != 0 {
-				return -o
+				return -o, nil
 			}
 		case 1:
 			if o := geom.Orient3D(a, c, d, e); o != 0 {
-				return o
+				return o, nil
 			}
 		case 0:
 			if o := geom.Orient3D(b, c, d, e); o != 0 {
-				return -o
+				return -o, nil
 			}
 		}
 	}
-	panic("delaunay: perturbed insphere with degenerate input (duplicate points?)")
+	return 0, geomerr.Degenerate("delaunay.insert", "perturbed insphere with degenerate input (duplicate points?)")
 }

@@ -2,8 +2,10 @@ package delaunay
 
 import (
 	"errors"
+	"fmt"
 
 	"godtfe/internal/geom"
+	"godtfe/internal/geomerr"
 )
 
 // Tri2 is a 2D triangle: three vertex indices (Inf for the infinite
@@ -58,10 +60,19 @@ type borderEdge struct {
 }
 
 // New2D builds the Delaunay triangulation of the 2D point set. Duplicates
-// merge; an error is returned if all points are collinear.
+// merge. It returns geomerr.ErrDegenerateInput for non-finite input or an
+// all-collinear point set, and geomerr.ErrMeshCorrupt if construction
+// breaks an invariant. It never panics.
 func New2D(pts []geom.Vec2) (*Triangulation2, error) {
 	if len(pts) < 3 {
-		return nil, errors.New("delaunay: need at least 3 points")
+		return nil, geomerr.Degenerate("delaunay.New2D", "need at least 3 points, got %d", len(pts))
+	}
+	for i, p := range pts {
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("delaunay.New2D: %w: %w",
+				geomerr.ErrDegenerateInput,
+				&geomerr.BadParticleError{Index: i, Reason: fmt.Sprintf("non-finite coordinate %v", p)})
+		}
 	}
 	t := &Triangulation2{
 		pts:   pts,
@@ -88,7 +99,9 @@ func New2D(pts []geom.Vec2) (*Triangulation2, error) {
 		if used[v] {
 			continue
 		}
-		t.insert2(v)
+		if err := t.insert2(v); err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }
@@ -111,7 +124,7 @@ func (t *Triangulation2) initFirstTri(order []int) (map[int32]bool, error) {
 		}
 	}
 	if i2 == NoTet {
-		return nil, errors.New("delaunay: all points are collinear")
+		return nil, geomerr.Degenerate("delaunay.New2D", "all points are collinear")
 	}
 	if geom.Orient2D(p[i0], p[i1], p[i2]) < 0 {
 		i0, i1 = i1, i0
@@ -191,15 +204,24 @@ func (t *Triangulation2) nextRand() uint64 {
 }
 
 // Locate2 returns a live triangle whose closure contains p (an infinite
-// triangle when p is outside the hull).
-func (t *Triangulation2) Locate2(p geom.Vec2) int32 {
+// triangle when p is outside the hull). It returns
+// geomerr.ErrDegenerateInput for a non-finite query and
+// geomerr.ErrLocateDiverged if the walk exceeds its step budget.
+func (t *Triangulation2) Locate2(p geom.Vec2) (int32, error) {
+	if !p.IsFinite() {
+		return NoTet, geomerr.Degenerate("delaunay.Locate2", "non-finite query point %v", p)
+	}
 	cur := t.last
 	if cur < 0 || cur >= int32(len(t.tris)) || t.dead[cur] {
+		cur = NoTet
 		for i := range t.tris {
 			if !t.dead[i] {
 				cur = int32(i)
 				break
 			}
+		}
+		if cur == NoTet {
+			return NoTet, geomerr.Corrupt("delaunay.Locate2", "no live triangles")
 		}
 	}
 	if s := t.tris[cur].InfSlot(); s >= 0 {
@@ -209,7 +231,7 @@ func (t *Triangulation2) Locate2(p geom.Vec2) int32 {
 	for step := 0; step < maxSteps; step++ {
 		tt := &t.tris[cur]
 		if tt.InfSlot() >= 0 {
-			return cur
+			return cur, nil
 		}
 		off := int(t.nextRand() % 3)
 		moved := false
@@ -225,10 +247,10 @@ func (t *Triangulation2) Locate2(p geom.Vec2) int32 {
 			}
 		}
 		if !moved {
-			return cur
+			return cur, nil
 		}
 	}
-	panic("delaunay: 2D locate failed to converge")
+	return NoTet, &geomerr.LocateError{Op: "delaunay.Locate2", Steps: maxSteps}
 }
 
 // conflicts2 reports whether p lies strictly inside the (symbolically
@@ -236,31 +258,35 @@ func (t *Triangulation2) Locate2(p geom.Vec2) int32 {
 // circle degenerates to the open outer half-plane; collinear ties delegate
 // to the finite neighbor, whose circumcircle meets the hull edge's line in
 // exactly the edge segment.
-func (t *Triangulation2) conflicts2(ti int32, p geom.Vec2) bool {
+func (t *Triangulation2) conflicts2(ti int32, p geom.Vec2) (bool, error) {
 	tt := &t.tris[ti]
 	if s := tt.InfSlot(); s >= 0 {
 		et := edgeTable2[s]
 		a, b := tt.V[et[0]], tt.V[et[1]]
 		o := geom.Orient2D(t.pts[a], t.pts[b], p)
 		if o > 0 {
-			return true // infinite region is on the left
+			return true, nil // infinite region is on the left
 		}
 		if o < 0 {
-			return false
+			return false, nil
 		}
 		return t.conflicts2(tt.N[s], p)
 	}
 	pa, pb, pc := t.pts[tt.V[0]], t.pts[tt.V[1]], t.pts[tt.V[2]]
 	if s := geom.InCircle(pa, pb, pc, p); s != 0 {
-		return s > 0
+		return s > 0, nil
 	}
-	return inCirclePerturbed(pa, pb, pc, p) > 0
+	s, err := inCirclePerturbed(pa, pb, pc, p)
+	if err != nil {
+		return false, err
+	}
+	return s > 0, nil
 }
 
 // inCirclePerturbed breaks exact cocircularity symbolically, mirroring
 // inSpherePerturbed one dimension down (lift-cofactor signs derived from
 // the inside-positive CCW convention).
-func inCirclePerturbed(a, b, c, d geom.Vec2) int {
+func inCirclePerturbed(a, b, c, d geom.Vec2) (int, error) {
 	idx := [4]int{0, 1, 2, 3}
 	pts := [4]geom.Vec2{a, b, c, d}
 	less := func(x, y geom.Vec2) bool {
@@ -279,44 +305,54 @@ func inCirclePerturbed(a, b, c, d geom.Vec2) int {
 	for _, k := range idx {
 		switch k {
 		case 3: // the query point: perturbed strictly outside
-			return -1
+			return -1, nil
 		case 2:
 			if o := geom.Orient2D(a, b, d); o != 0 {
-				return o
+				return o, nil
 			}
 		case 1:
 			if o := geom.Orient2D(a, c, d); o != 0 {
-				return -o
+				return -o, nil
 			}
 		case 0:
 			if o := geom.Orient2D(b, c, d); o != 0 {
-				return o
+				return o, nil
 			}
 		}
 	}
-	panic("delaunay: perturbed incircle with degenerate input (duplicate points?)")
+	return 0, geomerr.Degenerate("delaunay.insert2", "perturbed incircle with degenerate input (duplicate points?)")
 }
 
-func (t *Triangulation2) insert2(v int32) {
+func (t *Triangulation2) insert2(v int32) error {
 	p := t.pts[v]
-	loc := t.Locate2(p)
+	loc, err := t.Locate2(p)
+	if err != nil {
+		return err
+	}
 	for _, u := range t.tris[loc].V {
 		if u != Inf && t.pts[u] == p {
 			t.dupOf[v] = u
-			return
+			return nil
 		}
 	}
 	seed := loc
-	if !t.conflicts2(seed, p) {
+	if c, err := t.conflicts2(seed, p); err != nil {
+		return err
+	} else if !c {
 		seed = NoTet
 		for _, n := range t.tris[loc].N {
-			if !t.dead[n] && t.conflicts2(n, p) {
+			if t.dead[n] {
+				continue
+			}
+			if c, err := t.conflicts2(n, p); err != nil {
+				return err
+			} else if c {
 				seed = n
 				break
 			}
 		}
 		if seed == NoTet {
-			panic("delaunay: no 2D conflict seed")
+			return geomerr.Corrupt("delaunay.insert2", "no conflict seed for point %v", p)
 		}
 	}
 
@@ -336,7 +372,11 @@ func (t *Triangulation2) insert2(v int32) {
 			if t.mark[n] == t.epoch {
 				continue
 			}
-			if t.conflicts2(n, p) {
+			c, err := t.conflicts2(n, p)
+			if err != nil {
+				return err
+			}
+			if c {
 				t.mark[n] = t.epoch
 				t.cavity = append(t.cavity, n)
 				stack = append(stack, n)
@@ -350,7 +390,7 @@ func (t *Triangulation2) insert2(v int32) {
 				}
 			}
 			if g < 0 {
-				panic("delaunay: 2D neighbor symmetry violated")
+				return geomerr.Corrupt("delaunay.insert2", "neighbor symmetry violated between triangles %d and %d", cur, n)
 			}
 			et := edgeTable2[e]
 			t.border = append(t.border, borderEdge{
@@ -389,10 +429,11 @@ func (t *Triangulation2) insert2(v int32) {
 		}
 	}
 	if len(link) != 0 {
-		panic("delaunay: 2D cavity left unmatched edges")
+		return geomerr.Corrupt("delaunay.insert2", "cavity retriangulation left %d unmatched edges", len(link))
 	}
 	t.last = lastNew
 	t.inserted++
+	return nil
 }
 
 type edgeRef struct {
@@ -496,7 +537,11 @@ func (t *Triangulation2) ValidateDelaunay2() error {
 			if inTri {
 				continue
 			}
-			if t.conflicts2(int32(i), t.pts[v]) {
+			c, err := t.conflicts2(int32(i), t.pts[v])
+			if err != nil {
+				return err
+			}
+			if c {
 				return errors.New("delaunay: 2D circumcircle violated")
 			}
 		}

@@ -123,7 +123,10 @@ func TestTri2DLocate(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	for trial := 0; trial < 200; trial++ {
 		q := geom.Vec2{X: rng.Float64(), Y: rng.Float64()}
-		ti := tri.Locate2(q)
+		ti, err := tri.Locate2(q)
+		if err != nil {
+			t.Fatalf("Locate2(%v): %v", q, err)
+		}
 		if tri.IsInfinite2(ti) {
 			continue // possible near the hull
 		}
@@ -138,7 +141,7 @@ func TestTri2DLocate(t *testing.T) {
 		}
 	}
 	// Far-outside points land on infinite triangles.
-	if ti := tri.Locate2(geom.Vec2{X: 40, Y: -3}); !tri.IsInfinite2(ti) {
+	if ti, err := tri.Locate2(geom.Vec2{X: 40, Y: -3}); err != nil || !tri.IsInfinite2(ti) {
 		t.Fatal("outside point located in a finite triangle")
 	}
 }

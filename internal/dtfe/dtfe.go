@@ -118,13 +118,18 @@ func (f *Field) Interpolate(ti int32, p geom.Vec3) float64 {
 }
 
 // At locates p and returns the interpolated density. ok is false when p is
-// outside the convex hull (density 0).
-func (f *Field) At(p geom.Vec3) (rho float64, ok bool) {
-	ti := f.Tri.Locate(p)
-	if f.Tri.IsInfinite(ti) {
-		return 0, false
+// outside the convex hull (density 0). A non-nil error reports a failed
+// point location: a non-finite query (geomerr.ErrDegenerateInput) or a
+// diverged walk on a corrupted mesh (geomerr.ErrLocateDiverged).
+func (f *Field) At(p geom.Vec3) (rho float64, ok bool, err error) {
+	ti, err := f.Tri.Locate(p)
+	if err != nil {
+		return 0, false, err
 	}
-	return f.Interpolate(ti, p), true
+	if f.Tri.IsInfinite(ti) {
+		return 0, false, nil
+	}
+	return f.Interpolate(ti, p), true, nil
 }
 
 // VoronoiDensities estimates zero-order (TESS-style) densities: mass

@@ -99,13 +99,17 @@ func (f *Field2D) Interpolate2(ti int32, p geom.Vec2) float64 {
 	return f.Density[tr.V[0]] + f.grad[ti].Dot(p.Sub(x0))
 }
 
-// At2 locates p and interpolates; ok is false outside the hull.
-func (f *Field2D) At2(p geom.Vec2) (float64, bool) {
-	ti := f.Tri.Locate2(p)
-	if f.Tri.IsInfinite2(ti) {
-		return 0, false
+// At2 locates p and interpolates; ok is false outside the hull. A non-nil
+// error reports a failed point location (see Field.At).
+func (f *Field2D) At2(p geom.Vec2) (float64, bool, error) {
+	ti, err := f.Tri.Locate2(p)
+	if err != nil {
+		return 0, false, err
 	}
-	return f.Interpolate2(ti, p), true
+	if f.Tri.IsInfinite2(ti) {
+		return 0, false, nil
+	}
+	return f.Interpolate2(ti, p), true, nil
 }
 
 // TotalMass integrates the piecewise-linear density over the hull:

@@ -71,7 +71,10 @@ func TestField2DLinearExactness(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	for trial := 0; trial < 200; trial++ {
 		q := geom.Vec2{X: 0.2 + 0.6*rng.Float64(), Y: 0.2 + 0.6*rng.Float64()}
-		got, ok := f.At2(q)
+		got, ok, err := f.At2(q)
+		if err != nil {
+			t.Fatalf("At2(%v): %v", q, err)
+		}
 		if !ok {
 			continue
 		}
@@ -96,7 +99,7 @@ func TestField2DValidation(t *testing.T) {
 	if err := f.SetValues(make([]float64, 2)); err == nil {
 		t.Fatal("value mismatch accepted")
 	}
-	if _, ok := f.At2(geom.Vec2{X: 50, Y: 50}); ok {
+	if _, ok, _ := f.At2(geom.Vec2{X: 50, Y: 50}); ok {
 		t.Fatal("outside hull should report !ok")
 	}
 }

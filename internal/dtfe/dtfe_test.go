@@ -103,7 +103,10 @@ func TestLinearFieldReproducedExactly(t *testing.T) {
 			Y: 0.2 + 0.6*rng.Float64(),
 			Z: 0.2 + 0.6*rng.Float64(),
 		}
-		got, ok := f.At(q)
+		got, ok, err := f.At(q)
+		if err != nil {
+			t.Fatalf("At(%v): %v", q, err)
+		}
 		if !ok {
 			continue // outside hull (possible near sparse corners)
 		}
@@ -157,7 +160,10 @@ func TestDensityAtVertexMatchesEstimate(t *testing.T) {
 		if f.Hull[v] {
 			continue
 		}
-		got, ok := f.At(pts[v])
+		got, ok, err := f.At(pts[v])
+		if err != nil {
+			t.Fatalf("At(pts[%d]): %v", v, err)
+		}
 		if !ok {
 			t.Fatalf("vertex %d located outside hull", v)
 		}
@@ -182,7 +188,7 @@ func TestDuplicateMassAccumulates(t *testing.T) {
 
 func TestOutsideHull(t *testing.T) {
 	f := mustField(t, randPoints(80, 15), nil)
-	if _, ok := f.At(geom.Vec3{X: 10, Y: 10, Z: 10}); ok {
+	if _, ok, _ := f.At(geom.Vec3{X: 10, Y: 10, Z: 10}); ok {
 		t.Fatal("point far outside hull should report !ok")
 	}
 }

@@ -78,7 +78,7 @@ func Fig6(opt Options) (*Report, error) {
 			for j := jLo; j < jHi; j++ {
 				for i := iLo; i < iHi; i++ {
 					var n int
-					_, n, seed = walker.Column(center(i, j), 0, 1, gridN, seed)
+					_, n, seed, _ = walker.Column(center(i, j), 0, 1, gridN, seed)
 					wSteps[w] += int64(n)
 				}
 			}
@@ -93,7 +93,7 @@ func Fig6(opt Options) (*Report, error) {
 	for w := 0; w < workers; w++ {
 		t0 := time.Now()
 		for c := w; c < gridN*gridN; c += workers {
-			_, n := marcher.Column(center(c%gridN, c/gridN), 0, 1)
+			_, n, _ := marcher.Column(center(c%gridN, c/gridN), 0, 1)
 			mSteps[w] += int64(n)
 		}
 		mt[w] = time.Since(t0).Seconds() * 1e3

@@ -48,6 +48,13 @@ func (v Vec3) Norm2() float64 { return v.Dot(v) }
 // integration being along +z).
 func (v Vec3) XY() Vec2 { return Vec2{v.X, v.Y} }
 
+// IsFinite reports whether every component is a finite number. The exact
+// predicates require finite inputs (NaN/Inf have no big.Rat image), so
+// every layer that feeds them validates with this first.
+func (v Vec3) IsFinite() bool {
+	return finite(v.X) && finite(v.Y) && finite(v.Z)
+}
+
 // Add returns v + w.
 func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
 
@@ -65,6 +72,11 @@ func (v Vec2) Cross(w Vec2) float64 { return v.X*w.Y - v.Y*w.X }
 
 // Norm returns the Euclidean length of v.
 func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// IsFinite reports whether both components are finite numbers.
+func (v Vec2) IsFinite() bool { return finite(v.X) && finite(v.Y) }
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // AABB is an axis-aligned bounding box in R^3.
 type AABB struct {
@@ -108,6 +120,15 @@ func (b AABB) Contains(p Vec3) bool {
 	return p.X >= b.Min.X && p.X <= b.Max.X &&
 		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
 		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Clamp projects p onto the closed box (the nearest point inside).
+func (b AABB) Clamp(p Vec3) Vec3 {
+	return Vec3{
+		X: math.Min(math.Max(p.X, b.Min.X), b.Max.X),
+		Y: math.Min(math.Max(p.Y, b.Min.Y), b.Max.Y),
+		Z: math.Min(math.Max(p.Z, b.Min.Z), b.Max.Z),
+	}
 }
 
 // Size returns the box edge lengths.

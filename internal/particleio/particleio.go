@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"godtfe/internal/geom"
+	"godtfe/internal/geomerr"
 )
 
 // Magic identifies the format; Version is bumped on layout changes.
@@ -178,39 +179,80 @@ func cellIdx(v, min, size float64, n int) int {
 	return c
 }
 
-// ReadHeader parses the header only.
+// Header layout constants, for offset arithmetic in error reports.
+const (
+	fixedHeaderSize = 4 + 4 + 4 + 4 + 8 + 48
+	blockEntrySize  = 8 + 8 + 48
+
+	offMagic        = 0
+	offVersion      = 4
+	offFlags        = 8
+	offNumBlocks    = 12
+	offNumParticles = 16
+)
+
+// HeaderSize is the byte size of the header for a file with n blocks.
+func HeaderSize(n int) int64 { return int64(fixedHeaderSize + blockEntrySize*n) }
+
+// ReadHeader parses and validates the header. Malformed or truncated
+// files yield a *geomerr.FormatError (matching geomerr.ErrBadFormat)
+// that carries the byte offset of the defect.
 func ReadHeader(path string) (Header, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return Header{}, err
 	}
 	defer f.Close()
-	return readHeader(f)
+	h, err := readHeader(f)
+	if err != nil {
+		return Header{}, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return Header{}, err
+	}
+	if err := h.Validate(st.Size()); err != nil {
+		return Header{}, err
+	}
+	return h, nil
 }
 
 func readHeader(r io.Reader) (Header, error) {
 	le := binary.LittleEndian
-	fixed := make([]byte, 4+4+4+4+8+48)
-	if _, err := io.ReadFull(r, fixed); err != nil {
-		return Header{}, err
+	fixed := make([]byte, fixedHeaderSize)
+	if n, err := io.ReadFull(r, fixed); err != nil {
+		return Header{}, geomerr.Format(int64(n), err,
+			"particleio: truncated fixed header (%d of %d bytes)", n, fixedHeaderSize)
 	}
-	if le.Uint32(fixed[0:]) != Magic {
-		return Header{}, errors.New("particleio: bad magic")
+	if got := le.Uint32(fixed[offMagic:]); got != Magic {
+		return Header{}, geomerr.Format(offMagic, nil,
+			"particleio: bad magic 0x%08x (want 0x%08x)", got, Magic)
 	}
-	if le.Uint32(fixed[4:]) != Version {
-		return Header{}, fmt.Errorf("particleio: unsupported version %d", le.Uint32(fixed[4:]))
+	if v := le.Uint32(fixed[offVersion:]); v != Version {
+		return Header{}, geomerr.Format(offVersion, nil,
+			"particleio: unsupported version %d (want %d)", v, Version)
 	}
-	flags := le.Uint32(fixed[8:])
-	numBlocks := int(le.Uint32(fixed[12:]))
+	flags := le.Uint32(fixed[offFlags:])
+	if flags&^uint32(flagVelocities) != 0 {
+		return Header{}, geomerr.Format(offFlags, nil,
+			"particleio: unknown flag bits 0x%08x", flags&^uint32(flagVelocities))
+	}
+	numBlocks := int64(le.Uint32(fixed[offNumBlocks:]))
 	h := Header{
-		NumParticles: int64(le.Uint64(fixed[16:])),
+		NumParticles: int64(le.Uint64(fixed[offNumParticles:])),
 		HasVel:       flags&flagVelocities != 0,
 	}
+	if h.NumParticles < 0 {
+		return Header{}, geomerr.Format(offNumParticles, nil,
+			"particleio: negative particle count %d", h.NumParticles)
+	}
 	h.Bounds = readBox(fixed[24:])
-	entry := make([]byte, 8+8+48)
-	for b := 0; b < numBlocks; b++ {
-		if _, err := io.ReadFull(r, entry); err != nil {
-			return Header{}, err
+	entry := make([]byte, blockEntrySize)
+	for b := int64(0); b < numBlocks; b++ {
+		entryOff := int64(fixedHeaderSize) + b*blockEntrySize
+		if n, err := io.ReadFull(r, entry); err != nil {
+			return Header{}, geomerr.Format(entryOff+int64(n), err,
+				"particleio: truncated header: block entry %d of %d", b, numBlocks)
 		}
 		h.Blocks = append(h.Blocks, BlockInfo{
 			Count:  int64(le.Uint64(entry[0:])),
@@ -219,6 +261,50 @@ func readHeader(r io.Reader) (Header, error) {
 		})
 	}
 	return h, nil
+}
+
+// Validate cross-checks the header against the file size: non-negative
+// in-range block counts and offsets, payloads inside the file (catching
+// truncation), and block counts summing to NumParticles. A fileSize < 0
+// skips the size checks (for readers without random access).
+func (h Header) Validate(fileSize int64) error {
+	hdrEnd := HeaderSize(len(h.Blocks))
+	rowSz := h.rowSize()
+	var total int64
+	for b, bi := range h.Blocks {
+		entryOff := int64(fixedHeaderSize) + int64(b)*blockEntrySize
+		if bi.Count < 0 {
+			return geomerr.Format(entryOff, nil,
+				"particleio: block %d has negative count %d", b, bi.Count)
+		}
+		if bi.Offset < hdrEnd {
+			return geomerr.Format(entryOff+8, nil,
+				"particleio: block %d payload offset %d overlaps the %d-byte header",
+				b, bi.Offset, hdrEnd)
+		}
+		if bi.Count > (1<<62)/rowSz {
+			return geomerr.Format(entryOff, nil,
+				"particleio: block %d count %d overflows payload size", b, bi.Count)
+		}
+		if fileSize >= 0 {
+			if end := bi.Offset + bi.Count*rowSz; end > fileSize {
+				return geomerr.Format(entryOff+8, nil,
+					"particleio: truncated file: block %d payload [%d,%d) exceeds file size %d",
+					b, bi.Offset, end, fileSize)
+			}
+		}
+		total += bi.Count
+		if total < 0 {
+			return geomerr.Format(entryOff, nil,
+				"particleio: block counts overflow at block %d", b)
+		}
+	}
+	if total != h.NumParticles {
+		return geomerr.Format(offNumParticles, nil,
+			"particleio: block counts sum to %d, header says %d particles",
+			total, h.NumParticles)
+	}
+	return nil
 }
 
 func readBox(b []byte) geom.AABB {
@@ -252,9 +338,17 @@ func ReadBlockVel(path string, h Header, block int) ([]geom.Vec3, []geom.Vec3, e
 
 func readBlockFrom(f *os.File, h Header, bi BlockInfo) ([]geom.Vec3, []geom.Vec3, error) {
 	rowSz := h.rowSize()
+	if st, err := f.Stat(); err == nil {
+		if end := bi.Offset + bi.Count*rowSz; bi.Count < 0 || end > st.Size() {
+			return nil, nil, geomerr.Format(bi.Offset, nil,
+				"particleio: truncated file: block payload [%d,%d) exceeds file size %d",
+				bi.Offset, bi.Offset+bi.Count*rowSz, st.Size())
+		}
+	}
 	buf := make([]byte, bi.Count*rowSz)
-	if _, err := f.ReadAt(buf, bi.Offset); err != nil {
-		return nil, nil, err
+	if n, err := f.ReadAt(buf, bi.Offset); err != nil {
+		return nil, nil, geomerr.Format(bi.Offset+int64(n), err,
+			"particleio: short block read (%d of %d bytes)", n, len(buf))
 	}
 	le := binary.LittleEndian
 	pts := make([]geom.Vec3, bi.Count)

@@ -38,10 +38,12 @@ import (
 	"godtfe/internal/dtfe"
 	"godtfe/internal/fault"
 	"godtfe/internal/geom"
+	"godtfe/internal/geomerr"
 	"godtfe/internal/grid"
 	"godtfe/internal/kdtree"
 	"godtfe/internal/model"
 	"godtfe/internal/mpi"
+	"godtfe/internal/particleio"
 	"godtfe/internal/render"
 	"godtfe/internal/sched"
 )
@@ -78,6 +80,16 @@ type Config struct {
 	MinParticles int
 	// Seed drives the random test-item choice.
 	Seed int64
+
+	// ---- ingestion hardening -----------------------------------------
+
+	// Ingest is the particle-validation policy applied to this rank's
+	// local particles before Phase 1. The zero value is fail-fast: any
+	// non-finite coordinate aborts the run with a typed error
+	// (geomerr.ErrBadParticle). Set Ingest.Policy to particleio.PolicyDrop
+	// or PolicyClamp to sanitize instead; the tally lands in
+	// Result.Ingest.
+	Ingest particleio.ValidateOptions
 
 	// ---- robustness knobs (fault-tolerant Phase 4) -------------------
 
@@ -186,6 +198,14 @@ type ItemRecord struct {
 	PredRender float64
 	Shipped    bool // executed on a rank other than its owner (a-priori LB)
 	Recovered  bool // re-executed here on behalf of a failed/yielded rank
+
+	// Columns classifies the item's lines of sight by how their marches
+	// ended (clean/perturbed/fallback/abandoned).
+	Columns render.OutcomeCounts
+	// Err is the geometry failure that voided this item's field, if any
+	// (degenerate input renders empty with Err set; mesh corruption marks
+	// the field failed).
+	Err string
 }
 
 // Field is one rendered surface-density grid.
@@ -206,6 +226,11 @@ const (
 	// FieldLost: unrecoverable (owner and its checkpoint buddy both
 	// failed, or the protocol gave up on it).
 	FieldLost
+	// FieldFailed: the executing rank hit a non-recoverable geometry
+	// error (geomerr.ErrMeshCorrupt or a diverged location walk) while
+	// computing the field; the rank survived and reported the failure
+	// instead of dying.
+	FieldFailed
 )
 
 // String renders the state for logs.
@@ -217,6 +242,8 @@ func (s FieldState) String() string {
 		return "recovered"
 	case FieldLost:
 		return "lost"
+	case FieldFailed:
+		return "failed"
 	}
 	return fmt.Sprintf("FieldState(%d)", int(s))
 }
@@ -243,13 +270,20 @@ type Result struct {
 	CommBytes int64 // bytes this rank sent (partition + sharing)
 
 	// Status records the completion state of every field this rank knows
-	// the fate of: fields it computed (done/recovered) and — on the
-	// recovery coordinator — fields declared lost.
+	// the fate of: fields it computed (done/recovered/failed) and — on
+	// the recovery coordinator — fields declared lost.
 	Status []FieldStatus
 	// Incomplete marks a run that lost peers or fields; Failures carries
 	// the human-readable error summary.
 	Incomplete bool
 	Failures   []string
+
+	// Ingest tallies this rank's particle validation (dropped, clamped,
+	// jittered particles and why).
+	Ingest particleio.IngestReport
+	// Columns aggregates per-column march outcomes over every item this
+	// rank computed.
+	Columns render.OutcomeCounts
 }
 
 // execKind says on whose behalf an item is being computed.
@@ -284,6 +318,17 @@ func Run(c *mpi.Comm, cfg Config, localParticles []geom.Vec3, centers []geom.Vec
 	c.SetMaxSendRetries(cfg.MaxSendRetries)
 	res := &Result{Rank: c.Rank()}
 	t0 := time.Now()
+
+	// ---- Phase 0: ingestion validation --------------------------------
+	// Sanitize before any particle crosses a rank boundary: a NaN that
+	// reaches the exact predicates would once have panicked an entire
+	// rank; now it is dropped/clamped/reported per the policy.
+	sanitized, _, ingest, err := particleio.ValidateParticles(localParticles, nil, cfg.Ingest)
+	res.Ingest = ingest
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: rank %d ingestion: %w", c.Rank(), err)
+	}
+	localParticles = sanitized
 
 	// ---- Phase 1: partition & redistribution -------------------------
 	if err := crashCheck(cfg, c.Rank(), fault.PointPhase1, 0); err != nil {
@@ -503,7 +548,9 @@ func Run(c *mpi.Comm, cfg Config, localParticles []geom.Vec3, centers []geom.Vec
 	if len(failures) > 0 {
 		res.Incomplete = true
 		res.Failures = append(res.Failures, failures...)
-		return res, fmt.Errorf("pipeline: incomplete run: %s", strings.Join(failures, "; "))
+	}
+	if res.Incomplete {
+		return res, fmt.Errorf("pipeline: incomplete run: %s", strings.Join(res.Failures, "; "))
 	}
 	return res, nil
 }
@@ -576,6 +623,7 @@ func (rt *runtime) computeItemWith(center geom.Vec3, tree *kdtree.Tree, pts []ge
 		ZMin: center.Z - cfg.FieldLen/2,
 		ZMax: center.Z + cfg.FieldLen/2,
 	}
+	var itemErr error
 	if rec.N >= cfg.MinParticles && rec.N >= 4 {
 		sel := make([]geom.Vec3, len(idx))
 		for i, id := range idx {
@@ -591,23 +639,45 @@ func (rt *runtime) computeItemWith(center geom.Vec3, tree *kdtree.Tree, pts []ge
 		if err == nil {
 			t1 := time.Now()
 			m := render.NewMarcher(f)
-			gg, _, rerr := m.Render(spec, cfg.Workers, render.ScheduleDynamic)
+			gg, stats, rerr := m.Render(spec, cfg.Workers, render.ScheduleDynamic)
 			rec.RenderTime = time.Since(t1).Seconds()
+			rec.Columns = render.TotalOutcomes(stats)
+			rt.res.Columns.Add(rec.Columns)
 			if rerr == nil {
 				g = gg
+			} else {
+				itemErr = rerr
 			}
+		} else {
+			itemErr = err
 		}
 	}
 	if g == nil {
-		g = spec.Grid() // degenerate item: empty field
+		g = spec.Grid() // degenerate or failed item: empty field
 	}
 	rt.res.Phases.Triangulate += rec.TriTime
 	rt.res.Phases.Render += rec.RenderTime
-	rt.res.Items = append(rt.res.Items, rec)
 	state := FieldDone
 	if kind == execRecovered {
 		state = FieldRecovered
 	}
+	if itemErr != nil {
+		rec.Err = itemErr.Error()
+		if errors.Is(itemErr, geomerr.ErrDegenerateInput) || errors.Is(itemErr, geomerr.ErrBadParticle) {
+			// The item's own particle set is unusable (all coplanar,
+			// duplicate-collapsed below 4 points, ...): an empty field is
+			// the correct answer; the record carries the reason.
+		} else {
+			// Mesh corruption or a diverged walk: the field's numbers
+			// cannot be trusted. Report a failed item through the
+			// recovery bookkeeping instead of dying with the rank.
+			state = FieldFailed
+			rt.res.Incomplete = true
+			rt.res.Failures = append(rt.res.Failures,
+				fmt.Sprintf("item at %v: %v", center, itemErr))
+		}
+	}
+	rt.res.Items = append(rt.res.Items, rec)
 	rt.res.Status = append(rt.res.Status, FieldStatus{Center: center, State: state, Owner: rt.owner})
 	if cfg.KeepFields {
 		rt.res.Fields = append(rt.res.Fields, Field{Center: center, Grid: g})

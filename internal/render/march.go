@@ -97,9 +97,10 @@ func (m *Marcher) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, 
 					xi.X += (jitter(spec.Seed, i, j, s, 0) - 0.5) * spec.Cell
 					xi.Y += (jitter(spec.Seed, i, j, s, 1) - 0.5) * spec.Cell
 				}
-				sigma, steps := m.Column(xi, spec.ZMin, spec.ZMax)
+				sigma, steps, outcome := m.Column(xi, spec.ZMin, spec.ZMax)
 				acc += sigma
 				st.Steps += int64(steps)
+				st.Columns.Note(outcome)
 			}
 			out.Set(i, j, acc/float64(samples))
 			st.Cells++
@@ -110,22 +111,61 @@ func (m *Marcher) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, 
 
 // Column integrates the DTFE density along the vertical line through xi.
 // When zmin < zmax the integral is clipped to that interval; otherwise the
-// full hull chord is integrated. It returns the surface density and the
-// number of tetrahedra visited.
-func (m *Marcher) Column(xi geom.Vec2, zmin, zmax float64) (float64, int) {
-	steps := 0
+// full hull chord is integrated. It returns the surface density, the
+// number of tetrahedra visited, and how the march ended: clean, perturbed
+// (Fig 2 retries), fallback (restarted from a fresh entry fix after the
+// retry budget ran out), or abandoned (Σ is a partial lower bound and
+// must be counted as lost flux, never reported silently).
+func (m *Marcher) Column(xi geom.Vec2, zmin, zmax float64) (float64, int, ColumnOutcome) {
+	if !xi.IsFinite() {
+		return 0, 0, ColumnAbandoned
+	}
+	sigma, steps, attempts, ok := m.marchRetries(xi, zmin, zmax, false)
+	if ok {
+		if attempts == 0 {
+			return sigma, steps, ColumnClean
+		}
+		return sigma, steps, ColumnPerturbed
+	}
+	// Watertight fallback: the perturbation ladder is exhausted. Restart
+	// the march from a fresh entry-location fix through the bucket index
+	// (the walking index's locality hint may itself be the problem) with
+	// a fresh, larger perturbation ladder, instead of returning the
+	// partial Σ from the failed march.
+	fsigma, fsteps, _, fok := m.marchRetries(xi, zmin, zmax, true)
+	steps += fsteps
+	if fok {
+		return fsigma, steps, ColumnFallback
+	}
+	// Both ladders failed: report the larger partial integral (a lower
+	// bound on the true Σ) and flag the column as abandoned so the lost
+	// flux is accounted upstream.
+	if fsigma > sigma {
+		sigma = fsigma
+	}
+	return sigma, steps, ColumnAbandoned
+}
+
+// marchRetries runs the perturb-and-retry loop of the paper's Fig 2. With
+// fallback=true the entry face is re-located through the bucket index and
+// the perturbation magnitudes start one rung beyond the first ladder, so
+// the retry sequence explores genuinely new line positions.
+func (m *Marcher) marchRetries(xi geom.Vec2, zmin, zmax float64, fallback bool) (sigma float64, steps int, attempts int, ok bool) {
+	base := 0
+	if fallback {
+		base = m.MaxRetries + 1
+	}
 	for attempt := 0; ; attempt++ {
-		sigma, n, badTet, ok := m.tryColumn(xi, zmin, zmax)
+		s, n, badTet, ok := m.tryColumn(xi, zmin, zmax, fallback)
 		steps += n
+		sigma = s
 		if ok {
-			return sigma, steps
+			return sigma, steps, attempt, true
 		}
 		if attempt >= m.MaxRetries {
-			// Give up perturbing: report the partial integral rather than
-			// corrupting the whole field. In practice this is unreachable.
-			return sigma, steps
+			return sigma, steps, attempt, false
 		}
-		xi = m.perturb(xi, badTet, attempt)
+		xi = m.perturb(xi, badTet, base+attempt)
 	}
 }
 
@@ -159,9 +199,18 @@ func (m *Marcher) perturb(xi geom.Vec2, tet int32, attempt int) geom.Vec2 {
 const delaunay3Inf = int32(-1)
 
 // tryColumn marches once. ok=false reports a Plücker degeneracy (the ray
-// met an edge or vertex), returning the tet where it happened.
-func (m *Marcher) tryColumn(xi geom.Vec2, zmin, zmax float64) (sigma float64, steps int, badTet int32, ok bool) {
-	f := m.findEntry(xi)
+// met an edge or vertex), returning the tet where it happened. With
+// forceBuckets the entry face comes from the bucket index regardless of
+// the configured entry mode (the fallback's fresh entry-location fix).
+func (m *Marcher) tryColumn(xi geom.Vec2, zmin, zmax float64, forceBuckets bool) (sigma float64, steps int, badTet int32, ok bool) {
+	var f *entryFace
+	if forceBuckets {
+		if fi := m.entry.find(xi); fi >= 0 {
+			f = &m.entry.faces[fi]
+		}
+	} else {
+		f = m.findEntry(xi)
+	}
 	if f == nil {
 		return 0, 0, -1, true // line misses the hull: Σ = 0
 	}
@@ -234,10 +283,22 @@ var (
 // the tetrahedron, and the exit z. For a vertical ray the Plücker permuted
 // inner product against an edge reduces to the 2D orientation of xi
 // against the projected edge, so each of the six shared edges costs a
-// handful of flops. ok=false reports a degeneracy (zero product: the line
-// meets an edge or vertex) or an inverted configuration.
+// handful of flops.
+//
+// Zero products (the line meets an edge or vertex exactly) are resolved
+// first by a simulation-of-simplicity tie-break: the sign is computed as
+// if the line passed through (xi.X + ε, xi.Y + ε²) for an infinitesimal
+// ε > 0 — the perturbed product is s + ε(b.Y−a.Y) − ε²(b.X−a.X), so for
+// s == 0 its sign is that of the first non-zero coefficient. The rule is
+// antisymmetric under edge reversal, so neighboring tetrahedra sharing
+// the degenerate edge always agree on which side the perturbed line
+// passes, and the march stays watertight through vertices and edges.
+// ok=false is returned only when even the symbolic sign is undefined (an
+// edge whose projection collapses to a point — a vertical edge through
+// xi, or a facet coplanar with the ray); callers then perturb for real.
 func exitVertical(tt *delaunay.Tet, pts []geom.Vec3, xi geom.Vec2) (face int, zExit float64, ok bool) {
 	var s [6]float64
+	var sg [6]int
 	var v [4]geom.Vec3
 	for i := 0; i < 4; i++ {
 		v[i] = pts[tt.V[i]]
@@ -249,32 +310,62 @@ func exitVertical(tt *delaunay.Tet, pts []geom.Vec3, xi geom.Vec2) (face int, zE
 		// the directed edge a→b collapses to this 2D expression (pinned
 		// against crossZ by tests).
 		s[e] = (b.X-a.X)*(a.Y-xi.Y) + (b.Y-a.Y)*(xi.X-a.X)
+		sg[e] = isign(s[e])
+		if sg[e] == 0 {
+			if dy := b.Y - a.Y; dy != 0 {
+				sg[e] = isign(dy)
+			} else if dx := b.X - a.X; dx != 0 {
+				sg[e] = -isign(dx)
+			}
+			// Both coefficients zero: the edge projects to a single
+			// point; sg stays 0 and the face scan bails out below.
+		}
 	}
 	for f := 0; f < 4; f++ {
 		fe := faceEdges[f]
-		w0 := fe[0].sign * s[fe[0].e]
-		w1 := fe[1].sign * s[fe[1].e]
-		w2 := fe[2].sign * s[fe[2].e]
+		g0 := int(fe[0].sign) * sg[fe[0].e]
+		g1 := int(fe[1].sign) * sg[fe[1].e]
+		g2 := int(fe[2].sign) * sg[fe[2].e]
 		// Exit face: ray crosses along the outward normal, i.e. all
-		// permuted inner products negative (see crossZ's convention).
-		if w0 < 0 && w1 < 0 && w2 < 0 {
+		// (symbolically perturbed) permuted inner products negative (see
+		// crossZ's convention).
+		if g0 < 0 && g1 < 0 && g2 < 0 {
+			w0 := fe[0].sign * s[fe[0].e]
+			w1 := fe[1].sign * s[fe[1].e]
+			w2 := fe[2].sign * s[fe[2].e]
+			sum := w0 + w1 + w2
+			if sum == 0 {
+				// All three raw products vanish: the facet is coplanar
+				// with the ray and has no well-defined exit z.
+				return -1, 0, false
+			}
 			ft := faceTableRender[f]
 			a, b, c := v[ft[0]], v[ft[1]], v[ft[2]]
-			sum := w0 + w1 + w2
-			// Vertex a pairs with its opposite edge (w1), etc.
+			// Vertex a pairs with its opposite edge (w1), etc. Exact
+			// zeros among the w's are fine here: they are the correct
+			// limit weights for a line through the facet's edge/vertex.
 			return f, (w1*a.Z + w2*b.Z + w0*c.Z) / sum, true
 		}
-		if w0 == 0 || w1 == 0 || w2 == 0 {
-			// Zero on a candidate face: resolve by perturbation unless
-			// another face crosses strictly; keep scanning, but remember.
-			// (Strict crossing elsewhere cannot coexist with a zero here
-			// only in non-degenerate cases; be conservative.)
-			if (w0 <= 0 && w1 <= 0 && w2 <= 0) || (w0 >= 0 && w1 >= 0 && w2 >= 0) {
+		if g0 == 0 || g1 == 0 || g2 == 0 {
+			// An unresolvable (point-projected) edge on a candidate face:
+			// conservative bail-out to numerical perturbation.
+			if (g0 <= 0 && g1 <= 0 && g2 <= 0) || (g0 >= 0 && g1 >= 0 && g2 >= 0) {
 				return -1, 0, false
 			}
 		}
 	}
 	return -1, 0, false
+}
+
+// isign is the sign of x as an int (math.Signbit-free three-way).
+func isign(x float64) int {
+	if x > 0 {
+		return 1
+	}
+	if x < 0 {
+		return -1
+	}
+	return 0
 }
 
 // faceTableRender mirrors delaunay's outward face table.

@@ -1,0 +1,138 @@
+package render
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"godtfe/internal/geom"
+)
+
+// TestMassConservationProperty is the mass-conservation property test:
+// for any catalog, summing Σ·cellArea over a 2D grid that covers the
+// whole projected hull must reproduce the total mass inside the hull
+// (dtfe.Field.TotalMass) up to hull-boundary pixelization. It runs over
+// random catalogs and over degenerate catalogs (exact lattices, shared
+// coordinates) whose columns hit vertices and edges exactly, so the
+// watertight degenerate-ray handling is load-bearing: a column silently
+// dropped or double-counted shows up as lost or invented mass.
+func TestMassConservationProperty(t *testing.T) {
+	type catalog struct {
+		name string
+		pts  []geom.Vec3
+		tol  float64
+	}
+	var cats []catalog
+
+	for _, seed := range []int64{101, 202, 303} {
+		cats = append(cats, catalog{
+			name: "random",
+			pts:  randPoints(500, seed),
+			tol:  0.05,
+		})
+	}
+
+	// Exact integer lattice: every grid-aligned column passes through
+	// vertices and edges of the triangulation.
+	var lattice []geom.Vec3
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				lattice = append(lattice, geom.Vec3{X: float64(i) / 3, Y: float64(j) / 3, Z: float64(k) / 3})
+			}
+		}
+	}
+	cats = append(cats, catalog{name: "lattice", pts: lattice, tol: 0.05})
+
+	// Random points snapped to a coarse grid in x and y: many coincident
+	// projected coordinates, so Monte Carlo-free columns through cell
+	// centers repeatedly strike edges.
+	rng := rand.New(rand.NewSource(404))
+	var snapped []geom.Vec3
+	for len(snapped) < 400 {
+		snapped = append(snapped, geom.Vec3{
+			X: math.Round(rng.Float64()*8) / 8,
+			Y: math.Round(rng.Float64()*8) / 8,
+			Z: rng.Float64(),
+		})
+	}
+	cats = append(cats, catalog{name: "snapped", pts: snapped, tol: 0.06})
+
+	for _, c := range cats {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			f := fieldFor(t, c.pts)
+			m := NewMarcher(f)
+			b := geom.BoundsOf(c.pts)
+			const n = 96
+			pad := 0.03 * (b.Max.X - b.Min.X)
+			w := math.Max(b.Max.X-b.Min.X, b.Max.Y-b.Min.Y) + 2*pad
+			spec := Spec{
+				Min: geom.Vec2{X: b.Min.X - pad, Y: b.Min.Y - pad},
+				Nx:  n, Ny: n, Cell: w / n,
+				Samples: 4, Seed: 9,
+			}
+			g, stats, err := m.Render(spec, 2, ScheduleDynamic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := g.Integral()
+			want := f.TotalMass()
+			if math.Abs(got-want)/want > c.tol {
+				t.Fatalf("projected mass %v vs hull mass %v (rel err %.3f)",
+					got, want, math.Abs(got-want)/want)
+			}
+			// Every integrated line of sight must be accounted for, and
+			// none may be abandoned: conservation with degenerate columns
+			// only holds if each one is rescued.
+			oc := TotalOutcomes(stats)
+			wantCols := int64(n * n * spec.Samples)
+			if oc.Total() != wantCols {
+				t.Fatalf("outcome counters cover %d columns, want %d (%v)", oc.Total(), wantCols, oc)
+			}
+			if oc.Abandoned != 0 {
+				t.Fatalf("abandoned columns on a healthy mesh: %v", oc)
+			}
+			t.Logf("%s: mass %.4f/%.4f, %v", c.name, got, want, oc)
+		})
+	}
+}
+
+// TestColumnOutcomeClassification checks the outcome ladder directly:
+// clean interior columns, perturbed lattice columns, and abandoned
+// non-finite queries.
+func TestColumnOutcomeClassification(t *testing.T) {
+	f := fieldFor(t, randPoints(300, 17))
+	m := NewMarcher(f)
+
+	if _, _, out := m.Column(geom.Vec2{X: 0.5, Y: 0.5}, 0, 0); out != ColumnClean {
+		t.Fatalf("interior random column: outcome %v, want clean", out)
+	}
+	if _, _, out := m.Column(geom.Vec2{X: math.NaN(), Y: 0.5}, 0, 0); out != ColumnAbandoned {
+		t.Fatalf("NaN column: outcome %v, want abandoned", out)
+	}
+
+	// Lattice catalogs force degenerate marches; the rescue must be
+	// recorded as perturbed or fallback, never silent.
+	var pts []geom.Vec3
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				pts = append(pts, geom.Vec3{X: float64(i), Y: float64(j), Z: float64(k)})
+			}
+		}
+	}
+	lf := fieldFor(t, pts)
+	lm := NewMarcher(lf)
+	var oc OutcomeCounts
+	for i := 0; i <= 3; i++ {
+		for j := 0; j <= 3; j++ {
+			sigma, _, out := lm.Column(geom.Vec2{X: float64(i), Y: float64(j)}, 0, 0)
+			oc.Note(out)
+			if out == ColumnAbandoned {
+				t.Fatalf("lattice column (%d,%d) abandoned (sigma=%v)", i, j, sigma)
+			}
+		}
+	}
+	t.Logf("lattice outcomes: %v", oc)
+}

@@ -17,6 +17,7 @@ package render
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +74,92 @@ type WorkerStat struct {
 	Busy   time.Duration
 	Cells  int
 	Steps  int64 // tetrahedra visited (marching) or located (walking)
+
+	// Columns classifies every integrated line of sight (one per Monte
+	// Carlo sample) by how its march ended, so degraded columns are
+	// accounted, never silent.
+	Columns OutcomeCounts
+}
+
+// ColumnOutcome classifies how a single line-of-sight integration ended.
+type ColumnOutcome uint8
+
+const (
+	// ColumnClean: the march succeeded without perturbation.
+	ColumnClean ColumnOutcome = iota
+	// ColumnPerturbed: the march met a Plücker degeneracy and succeeded
+	// after one or more Perturb retries (paper Fig 2).
+	ColumnPerturbed
+	// ColumnFallback: the perturbation budget ran out and the march was
+	// restarted from a fresh entry-location fix, which succeeded.
+	ColumnFallback
+	// ColumnAbandoned: every attempt failed; the reported Σ is a partial
+	// (lower-bound) integral and the column counts as lost flux.
+	ColumnAbandoned
+)
+
+// String names the outcome for logs.
+func (o ColumnOutcome) String() string {
+	switch o {
+	case ColumnClean:
+		return "clean"
+	case ColumnPerturbed:
+		return "perturbed"
+	case ColumnFallback:
+		return "fallback"
+	case ColumnAbandoned:
+		return "abandoned"
+	}
+	return fmt.Sprintf("ColumnOutcome(%d)", uint8(o))
+}
+
+// OutcomeCounts aggregates per-column outcomes across a render.
+type OutcomeCounts struct {
+	Clean, Perturbed, Fallback, Abandoned int64
+}
+
+// Note counts one outcome.
+func (o *OutcomeCounts) Note(c ColumnOutcome) {
+	switch c {
+	case ColumnClean:
+		o.Clean++
+	case ColumnPerturbed:
+		o.Perturbed++
+	case ColumnFallback:
+		o.Fallback++
+	default:
+		o.Abandoned++
+	}
+}
+
+// Add accumulates other into o.
+func (o *OutcomeCounts) Add(other OutcomeCounts) {
+	o.Clean += other.Clean
+	o.Perturbed += other.Perturbed
+	o.Fallback += other.Fallback
+	o.Abandoned += other.Abandoned
+}
+
+// Total is the number of columns counted.
+func (o OutcomeCounts) Total() int64 {
+	return o.Clean + o.Perturbed + o.Fallback + o.Abandoned
+}
+
+// Degraded is the number of columns that needed any recourse at all.
+func (o OutcomeCounts) Degraded() int64 { return o.Perturbed + o.Fallback + o.Abandoned }
+
+func (o OutcomeCounts) String() string {
+	return fmt.Sprintf("columns{clean=%d perturbed=%d fallback=%d abandoned=%d}",
+		o.Clean, o.Perturbed, o.Fallback, o.Abandoned)
+}
+
+// TotalOutcomes sums the per-worker column outcome counters.
+func TotalOutcomes(stats []WorkerStat) OutcomeCounts {
+	var o OutcomeCounts
+	for _, s := range stats {
+		o.Add(s.Columns)
+	}
+	return o
 }
 
 // Schedule selects how grid rows are distributed over workers.

@@ -76,7 +76,7 @@ func TestMarcherMatchesDirectQuadrature(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 30; trial++ {
 		xi := geom.Vec2{X: 0.2 + 0.6*rng.Float64(), Y: 0.2 + 0.6*rng.Float64()}
-		sigma, steps := m.Column(xi, 0, 0)
+		sigma, steps, _ := m.Column(xi, 0, 0)
 		if steps == 0 {
 			t.Fatalf("column %v visited no tets", xi)
 		}
@@ -86,7 +86,7 @@ func TestMarcherMatchesDirectQuadrature(t *testing.T) {
 		dz := 1.4 / n
 		for k := 0; k < n; k++ {
 			z := -0.2 + (float64(k)+0.5)*dz
-			if rho, ok := f.At(geom.Vec3{X: xi.X, Y: xi.Y, Z: z}); ok {
+			if rho, ok, _ := f.At(geom.Vec3{X: xi.X, Y: xi.Y, Z: z}); ok {
 				want += rho * dz
 			}
 		}
@@ -101,9 +101,9 @@ func TestMarcherClippedColumn(t *testing.T) {
 	f := fieldFor(t, pts)
 	m := NewMarcher(f)
 	xi := geom.Vec2{X: 0.5, Y: 0.5}
-	full, _ := m.Column(xi, 0, 0)
-	lowerHalf, _ := m.Column(xi, -1, 0.5)
-	upperHalf, _ := m.Column(xi, 0.5, 2)
+	full, _, _ := m.Column(xi, 0, 0)
+	lowerHalf, _, _ := m.Column(xi, -1, 0.5)
+	upperHalf, _, _ := m.Column(xi, 0.5, 2)
 	if math.Abs(lowerHalf+upperHalf-full) > 1e-9*(1+full) {
 		t.Fatalf("clip split %v + %v != full %v", lowerHalf, upperHalf, full)
 	}
@@ -152,7 +152,7 @@ func TestMarcherDegenerateGridRays(t *testing.T) {
 	for i := 0; i <= 4; i++ {
 		for j := 0; j <= 4; j++ {
 			xi := geom.Vec2{X: float64(i), Y: float64(j)}
-			sigma, _ := m.Column(xi, 0, 0)
+			sigma, _, _ := m.Column(xi, 0, 0)
 			if sigma < 0 {
 				t.Fatalf("negative surface density at (%d,%d)", i, j)
 			}
@@ -164,7 +164,7 @@ func TestMarcherDegenerateGridRays(t *testing.T) {
 					t.Fatalf("lattice column (%d,%d) = %v, want in [4,7]", i, j, sigma)
 				}
 				// ...while the interior-clipped chord sees density 1.
-				clipped, _ := m.Column(xi, 1, 3)
+				clipped, _, _ := m.Column(xi, 1, 3)
 				if math.Abs(clipped-2) > 0.05 {
 					t.Fatalf("clipped lattice column (%d,%d) = %v, want ~2", i, j, clipped)
 				}
@@ -176,7 +176,7 @@ func TestMarcherDegenerateGridRays(t *testing.T) {
 func TestMarcherMissesHull(t *testing.T) {
 	f := fieldFor(t, randPoints(100, 9))
 	m := NewMarcher(f)
-	sigma, steps := m.Column(geom.Vec2{X: 50, Y: 50}, 0, 0)
+	sigma, steps, _ := m.Column(geom.Vec2{X: 50, Y: 50}, 0, 0)
 	if sigma != 0 || steps != 0 {
 		t.Fatalf("missing column: sigma=%v steps=%d", sigma, steps)
 	}
@@ -336,7 +336,7 @@ func TestMonteCarloReducesUndersamplingError(t *testing.T) {
 						X: coarse.Min.X + (float64(i)+(float64(si)+0.5)/sub)*coarse.Cell,
 						Y: coarse.Min.Y + (float64(j)+(float64(sj)+0.5)/sub)*coarse.Cell,
 					}
-					s, _ := m.Column(xi, 0, 0)
+					s, _, _ := m.Column(xi, 0, 0)
 					acc += s
 				}
 			}
@@ -395,7 +395,7 @@ func BenchmarkWalkerColumn(b *testing.B) {
 	b.ResetTimer()
 	seed := delaunay.NoTet
 	for i := 0; i < b.N; i++ {
-		_, _, seed = w.Column(xs[i%len(xs)], 0, 1, 64, seed)
+		_, _, seed, _ = w.Column(xs[i%len(xs)], 0, 1, 64, seed)
 	}
 }
 
@@ -455,7 +455,7 @@ func TestRender3DProjectionMatchesRender(t *testing.T) {
 	}
 	// 3D values are plain interpolations: spot check against f.At.
 	p := g3.Center(n/2, n/2, n/2)
-	if rho, ok := f.At(p); ok {
+	if rho, ok, _ := f.At(p); ok {
 		if math.Abs(g3.At(n/2, n/2, n/2)-rho) > 1e-9*(1+rho) {
 			t.Fatalf("3D sample %v vs field %v", g3.At(n/2, n/2, n/2), rho)
 		}

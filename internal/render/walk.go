@@ -51,10 +51,15 @@ func (w *Walker) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, [
 					xi.X += (jitter(spec.Seed, i, j, s, 0) - 0.5) * spec.Cell
 					xi.Y += (jitter(spec.Seed, i, j, s, 1) - 0.5) * spec.Cell
 				}
-				sigma, n, last := w.Column(xi, zmin, zmax, spec.Nz, seed)
+				sigma, n, last, err := w.Column(xi, zmin, zmax, spec.Nz, seed)
 				seed = last
 				acc += sigma
 				st.Steps += int64(n)
+				if err != nil {
+					st.Columns.Note(ColumnAbandoned)
+				} else {
+					st.Columns.Note(ColumnClean)
+				}
 			}
 			out.Set(i, j, acc/float64(samples))
 			st.Cells++
@@ -90,18 +95,37 @@ func (w *Walker) Render3D(spec Spec, workers int, sched Schedule) (*grid.Grid3D,
 			}
 			cur := seed
 			if cur == delaunay.NoTet {
-				cur = w.F.Tri.Locate(geom.Vec3{X: xi.X, Y: xi.Y, Z: zmin})
+				c, err := w.F.Tri.Locate(geom.Vec3{X: xi.X, Y: xi.Y, Z: zmin})
+				if err != nil {
+					st.Columns.Note(ColumnAbandoned)
+					st.Cells++
+					continue
+				}
+				cur = c
 			}
+			bad := false
 			for k := 0; k < spec.Nz; k++ {
 				p := geom.Vec3{X: xi.X, Y: xi.Y, Z: zmin + (float64(k)+0.5)*dz}
-				ti, n := w.F.Tri.LocateFromCount(cur, p)
+				ti, n, err := w.F.Tri.LocateFromCount(cur, p)
 				st.Steps += int64(n)
+				if err != nil {
+					// A diverged walk poisons the seed chain; abandon the
+					// rest of the column and restart the next from scratch.
+					bad = true
+					seed = delaunay.NoTet
+					break
+				}
 				cur = ti
 				if w.F.Tri.IsInfinite(ti) {
 					continue
 				}
 				seed = ti
 				out.Set(i, j, k, w.F.Interpolate(ti, p))
+			}
+			if bad {
+				st.Columns.Note(ColumnAbandoned)
+			} else {
+				st.Columns.Note(ColumnClean)
 			}
 			st.Cells++
 		}
@@ -113,20 +137,29 @@ func (w *Walker) Render3D(spec Spec, workers int, sched Schedule) (*grid.Grid3D,
 // the previous one, and returns the accumulated surface density, the
 // number of tetrahedra visited by the walks (the true work measure — it
 // grows with local mesh density), and the last finite tet (a good seed for
-// the next column).
-func (w *Walker) Column(xi geom.Vec2, zmin, zmax float64, nz int, seed int32) (float64, int, int32) {
+// the next column). A non-nil error reports a failed point location
+// (non-finite query or diverged walk); the returned Σ is then the partial
+// sum up to the failing sample and the seed is NoTet.
+func (w *Walker) Column(xi geom.Vec2, zmin, zmax float64, nz int, seed int32) (float64, int, int32, error) {
 	dz := (zmax - zmin) / float64(nz)
 	var sigma float64
 	steps := 0
 	cur := seed
 	if cur == delaunay.NoTet {
-		cur = w.F.Tri.Locate(geom.Vec3{X: xi.X, Y: xi.Y, Z: zmin}) // any start
+		c, err := w.F.Tri.Locate(geom.Vec3{X: xi.X, Y: xi.Y, Z: zmin}) // any start
+		if err != nil {
+			return 0, 0, delaunay.NoTet, err
+		}
+		cur = c
 	}
 	last := cur
 	for k := 0; k < nz; k++ {
 		p := geom.Vec3{X: xi.X, Y: xi.Y, Z: zmin + (float64(k)+0.5)*dz}
-		ti, n := w.F.Tri.LocateFromCount(cur, p)
+		ti, n, err := w.F.Tri.LocateFromCount(cur, p)
 		steps += n
+		if err != nil {
+			return sigma, steps, delaunay.NoTet, err
+		}
 		cur = ti
 		if w.F.Tri.IsInfinite(ti) {
 			continue // outside hull: zero density
@@ -134,7 +167,7 @@ func (w *Walker) Column(xi geom.Vec2, zmin, zmax float64, nz int, seed int32) (f
 		last = ti
 		sigma += w.F.Interpolate(ti, p) * dz
 	}
-	return sigma, steps, last
+	return sigma, steps, last, nil
 }
 
 // ZeroOrder is the TESS/DENSE baseline: zero-order interpolation — the
