@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race bench fuzz nopanic ci
+.PHONY: build test tier1 vet race bench bench-smoke fuzz nopanic ci
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,21 @@ tier1: build test
 vet:
 	$(GO) vet ./...
 
-# Concurrency-sensitive packages (the MPI runtime and the fault-tolerant
-# pipeline executor, including the chaos tests) under the race detector.
+# Concurrency-sensitive packages (the MPI runtime, the fault-tolerant
+# pipeline executor with its chaos tests, the parallel render workers,
+# and concurrent point location) under the race detector.
 race:
-	$(GO) test -race ./internal/mpi/... ./internal/pipeline/...
+	$(GO) test -race ./internal/mpi/... ./internal/pipeline/... ./internal/render/... ./internal/delaunay/...
 
+# Regression benchmarks: run the kernel/entry/codec suite and write
+# BENCH_PR3.json with ns/op, allocs/op, and speedup ratios against the
+# checked-in pre-optimization baseline in bench/baseline_pr3.json.
 bench:
+	$(GO) run ./cmd/dtfe-bench -out BENCH_PR3.json -baseline bench/baseline_pr3.json
+
+# One-iteration smoke over every benchmark in the tree: catches bit-rot
+# in benchmark code without paying for stable timings.
+bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # Fuzz smoke: a short budget per target keeps CI fast while still
@@ -27,6 +36,7 @@ bench:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParticleIO -fuzztime 10s ./internal/particleio/
 	$(GO) test -run '^$$' -fuzz FuzzDelaunayInsert -fuzztime 10s ./internal/delaunay/
+	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime 10s ./internal/mpi/
 
 # The hardened layers (geometry, ingestion, render) must stay panic-free:
 # every failure goes through the geomerr taxonomy instead.
@@ -37,4 +47,4 @@ nopanic:
 	fi
 	@echo "nopanic: clean"
 
-ci: tier1 vet nopanic race fuzz
+ci: tier1 vet nopanic race bench-smoke fuzz

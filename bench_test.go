@@ -61,6 +61,7 @@ func benchField(b *testing.B, n int) *dtfe.Field {
 // with the two strategies: the headline ablation (marching avoids the 3D
 // grid entirely).
 func BenchmarkKernelMarching(b *testing.B) {
+	b.ReportAllocs()
 	f := benchField(b, 20000)
 	m := render.NewMarcher(f)
 	spec := render.Spec{Min: geom.Vec2{}, Nx: 64, Ny: 64, Cell: 1.0 / 64, ZMin: 0, ZMax: 1}
@@ -73,6 +74,7 @@ func BenchmarkKernelMarching(b *testing.B) {
 }
 
 func BenchmarkKernelWalking(b *testing.B) {
+	b.ReportAllocs()
 	f := benchField(b, 20000)
 	w := render.NewWalker(f)
 	spec := render.Spec{Min: geom.Vec2{}, Nx: 64, Ny: 64, Cell: 1.0 / 64, ZMin: 0, ZMax: 1, Nz: 256}
@@ -85,6 +87,7 @@ func BenchmarkKernelWalking(b *testing.B) {
 }
 
 func BenchmarkKernelZeroOrder(b *testing.B) {
+	b.ReportAllocs()
 	f := benchField(b, 20000)
 	z := render.NewZeroOrder(f.Tri.Points(), f.Density)
 	spec := render.Spec{Min: geom.Vec2{}, Nx: 64, Ny: 64, Cell: 1.0 / 64, ZMin: 0, ZMax: 1, Nz: 256}
@@ -93,6 +96,20 @@ func BenchmarkKernelZeroOrder(b *testing.B) {
 		if _, _, err := z.Render(spec, 1, render.ScheduleDynamic); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkKernelColumn times one line-of-sight integration (entry
+// location + full march) in isolation; the column loop must stay
+// allocation-free.
+func BenchmarkKernelColumn(b *testing.B) {
+	b.ReportAllocs()
+	f := benchField(b, 20000)
+	m := render.NewMarcher(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xi := geom.Vec2{X: 0.1 + 0.0011*float64(i%700), Y: 0.15 + 0.0009*float64(i%800)}
+		m.Column(xi, 0, 1)
 	}
 }
 
@@ -125,6 +142,7 @@ func BenchmarkAblationBuildInputOrder(b *testing.B) {
 // oversampling (eq 5): the exact rule makes extra samples unnecessary for
 // smooth columns.
 func BenchmarkAblationExactMidpoint(b *testing.B) {
+	b.ReportAllocs()
 	f := benchField(b, 10000)
 	m := render.NewMarcher(f)
 	spec := render.Spec{Min: geom.Vec2{}, Nx: 48, Ny: 48, Cell: 1.0 / 48, ZMin: 0, ZMax: 1}
@@ -137,6 +155,7 @@ func BenchmarkAblationExactMidpoint(b *testing.B) {
 }
 
 func BenchmarkAblationMonteCarlo4x(b *testing.B) {
+	b.ReportAllocs()
 	f := benchField(b, 10000)
 	m := render.NewMarcher(f)
 	spec := render.Spec{Min: geom.Vec2{}, Nx: 48, Ny: 48, Cell: 1.0 / 48, ZMin: 0, ZMax: 1, Samples: 4, Seed: 2}

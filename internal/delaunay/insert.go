@@ -5,17 +5,21 @@ import (
 	"godtfe/internal/geomerr"
 )
 
-// nextRand is a small xorshift64* PRNG used only to randomize the face
-// visiting order during walks (stochastic visibility walk), keeping runs
-// deterministic for a given build.
-func (t *Triangulation) nextRand() uint64 {
-	x := t.rng
+// xorshiftStar is a small xorshift64* PRNG step used only to randomize
+// the face visiting order during walks (stochastic visibility walk),
+// keeping runs deterministic for a given build.
+func xorshiftStar(rng *uint64) uint64 {
+	x := *rng
 	x ^= x >> 12
 	x ^= x << 25
 	x ^= x >> 27
-	t.rng = x
+	*rng = x
 	return x * 0x2545f4914f6cdd1d
 }
+
+// nextRand draws from the triangulation's internal stream (mutates shared
+// state — callers that locate concurrently must use LocateSeeded).
+func (t *Triangulation) nextRand() uint64 { return xorshiftStar(&t.rng) }
 
 // Locate returns a live tetrahedron whose closure contains p, walking from
 // an internal hint. The result is an infinite tet when p lies outside the
@@ -39,6 +43,16 @@ func (t *Triangulation) LocateFrom(start int32, p geom.Vec3) (int32, error) {
 // LocateFromCount is LocateFrom reporting the number of tetrahedra visited
 // (the walk length, the cost driver of walking-based grid rendering).
 func (t *Triangulation) LocateFromCount(start int32, p geom.Vec3) (int32, int, error) {
+	return t.LocateSeeded(start, p, &t.rng)
+}
+
+// LocateSeeded is LocateFromCount with caller-owned xorshift state (must
+// be non-zero), making concurrent read-only point location race-free: the
+// walk's stochastic face order draws from *rng instead of the
+// triangulation's shared internal stream. The rng influences only the
+// walk path, never which tetrahedron is returned for a point in general
+// position.
+func (t *Triangulation) LocateSeeded(start int32, p geom.Vec3, rng *uint64) (int32, int, error) {
 	if !p.IsFinite() {
 		return NoTet, 0, geomerr.Degenerate("delaunay.Locate", "non-finite query point %v", p)
 	}
@@ -61,7 +75,7 @@ func (t *Triangulation) LocateFromCount(start int32, p geom.Vec3) (int32, int, e
 			// p escaped the hull: it belongs to this infinite region.
 			return cur, step + 1, nil
 		}
-		off := int(t.nextRand() & 3)
+		off := int(xorshiftStar(rng) & 3)
 		moved := false
 		for k := 0; k < 4; k++ {
 			f := (k + off) & 3

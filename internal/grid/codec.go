@@ -1,0 +1,81 @@
+package grid
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Grid2D implements the mpi codec's fast wire path (mpi.FastMarshaler /
+// mpi.FastUnmarshaler, matched structurally so this package stays free of
+// an mpi dependency): header fields as uvarints and little-endian IEEE 754
+// words, then the data block. Rendered tiles are the second-largest
+// payload a distributed reduction ships, after particle blocks.
+
+// AppendFast appends the grid's wire encoding to buf.
+func (g *Grid2D) AppendFast(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(g.Nx))
+	buf = binary.AppendUvarint(buf, uint64(g.Ny))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(g.Min.X))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(g.Min.Y))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(g.Cell))
+	buf = binary.AppendUvarint(buf, uint64(len(g.Data)))
+	for _, v := range g.Data {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// UnmarshalFast decodes an AppendFast payload; Data is copied out of the
+// (reused) wire buffer, never aliased.
+func (g *Grid2D) UnmarshalFast(data []byte) error {
+	uv := func() (uint64, error) {
+		n, used := binary.Uvarint(data)
+		if used <= 0 {
+			return 0, fmt.Errorf("grid: truncated wire header")
+		}
+		data = data[used:]
+		return n, nil
+	}
+	f64 := func() (float64, error) {
+		if len(data) < 8 {
+			return 0, fmt.Errorf("grid: truncated wire header")
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+		return v, nil
+	}
+	nx, err := uv()
+	if err != nil {
+		return err
+	}
+	ny, err := uv()
+	if err != nil {
+		return err
+	}
+	if g.Min.X, err = f64(); err != nil {
+		return err
+	}
+	if g.Min.Y, err = f64(); err != nil {
+		return err
+	}
+	if g.Cell, err = f64(); err != nil {
+		return err
+	}
+	n, err := uv()
+	if err != nil {
+		return err
+	}
+	if nx > uint64(math.MaxInt32) || ny > uint64(math.MaxInt32) || n != nx*ny {
+		return fmt.Errorf("grid: wire shape %d×%d does not match %d data words", nx, ny, n)
+	}
+	if len(data) != int(n)*8 {
+		return fmt.Errorf("grid: wire data block: need %d bytes, have %d", n*8, len(data))
+	}
+	g.Nx, g.Ny = int(nx), int(ny)
+	g.Data = make([]float64, n)
+	for i := range g.Data {
+		g.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return nil
+}

@@ -87,6 +87,10 @@ type envelope struct {
 	src  int
 	tag  int
 	data []byte
+	// pooled marks data as an exclusively-owned pool-backed buffer that
+	// decodeFrom returns to the codec pool after decoding. Payloads shared
+	// across receivers (collective broadcasts) are never pooled.
+	pooled bool
 }
 
 type mailbox struct {
@@ -377,23 +381,47 @@ func (w *World) TotalMessages() int64 {
 	return t
 }
 
-func encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+// encode produces a wire message (format byte + payload, see codec.go):
+// hot payload shapes take the typed fast path, everything else falls back
+// to gob. With pooled set the buffer is drawn from the codec pool — only
+// valid for point-to-point messages, whose single receiver releases it
+// after decode.
+func encode(v any, pooled bool) ([]byte, error) {
+	var buf []byte
+	if pooled {
+		buf = getBuf()
+	}
+	if out, handled, err := encodeFast(buf, v); handled || err != nil {
+		return out, err
+	}
+	bb := bytes.NewBuffer(append(buf, fmtGob))
+	if err := gob.NewEncoder(bb).Encode(v); err != nil {
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	return bb.Bytes(), nil
 }
 
 func decode(data []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+	if len(data) == 0 {
+		// Match the pre-codec failure mode for empty payloads (gob EOF).
+		return gob.NewDecoder(bytes.NewReader(nil)).Decode(v)
+	}
+	if data[0] == fmtGob {
+		return gob.NewDecoder(bytes.NewReader(data[1:])).Decode(v)
+	}
+	return decodeFast(data[0], data[1:], v)
 }
 
-// decodeFrom wraps gob decode failures with the message's origin, the
+// decodeFrom wraps decode failures with the message's origin, the
 // operation it arrived under, and the target type, so a tag collision or
 // type mismatch is diagnosable instead of a bare "gob: type mismatch".
+// Pool-backed buffers are returned to the codec pool once decoded.
 func decodeFrom(e envelope, op string, v any) error {
-	if err := decode(e.data, v); err != nil {
+	err := decode(e.data, v)
+	if e.pooled {
+		releaseBuf(e.data)
+	}
+	if err != nil {
 		return fmt.Errorf("mpi: %s: decoding message from rank %d into %T: %w", op, e.src, v, err)
 	}
 	return nil
@@ -401,8 +429,10 @@ func decodeFrom(e envelope, op string, v any) error {
 
 // sendRaw delivers data to dst, consulting the fault injector per attempt
 // and retrying dropped attempts with capped exponential backoff. Every
-// attempt is accounted as wire traffic.
-func (c *Comm) sendRaw(dst, tag int, data []byte) error {
+// attempt is accounted as wire traffic. pooled flags data as an
+// exclusively-owned codec-pool buffer: the receiver recycles it after
+// decode, and a terminally dropped send recycles it here.
+func (c *Comm) sendRaw(dst, tag int, data []byte, pooled bool) error {
 	w := c.world
 	inj := w.getInjector()
 	attempts := c.maxRetries + 1
@@ -425,7 +455,7 @@ func (c *Comm) sendRaw(dst, tag int, data []byte) error {
 			}
 			continue
 		}
-		e := envelope{src: c.rank, tag: tag, data: data}
+		e := envelope{src: c.rank, tag: tag, data: data, pooled: pooled}
 		if v.Delay > 0 {
 			w.inFlight[c.rank].Add(1)
 			time.AfterFunc(v.Delay, func() {
@@ -436,6 +466,9 @@ func (c *Comm) sendRaw(dst, tag int, data []byte) error {
 			w.boxes[dst].put(e)
 		}
 		return nil
+	}
+	if pooled {
+		releaseBuf(data)
 	}
 	return fmt.Errorf("mpi: send to rank %d tag %d dropped after %d attempts: %w",
 		dst, tag, attempts, ErrMessageLost)
@@ -450,11 +483,11 @@ func (c *Comm) Send(dst, tag int, v any) error {
 	if dst < 0 || dst >= c.world.size {
 		return fmt.Errorf("mpi: invalid destination rank %d", dst)
 	}
-	data, err := encode(v)
+	data, err := encode(v, true)
 	if err != nil {
 		return err
 	}
-	return c.sendRaw(dst, tag, data)
+	return c.sendRaw(dst, tag, data, true)
 }
 
 // Recv blocks until a message with the given source (or AnySource) and tag
@@ -526,13 +559,13 @@ func (c *Comm) Barrier() error {
 			}
 		}
 		for i := 1; i < c.world.size; i++ {
-			if err := c.sendRaw(i, tag, nil); err != nil {
+			if err := c.sendRaw(i, tag, nil, false); err != nil {
 				return fmt.Errorf("mpi: barrier: %w", err)
 			}
 		}
 		return nil
 	}
-	if err := c.sendRaw(0, tag, nil); err != nil {
+	if err := c.sendRaw(0, tag, nil, false); err != nil {
 		return fmt.Errorf("mpi: barrier: %w", err)
 	}
 	if _, err := c.world.take(c.rank, 0, tag, time.Time{}, false); err != nil {
@@ -546,13 +579,13 @@ func (c *Comm) Barrier() error {
 func (c *Comm) Bcast(root int, v any) error {
 	tag := c.nextCollTag(tagBcast)
 	if c.rank == root {
-		data, err := encode(v)
+		data, err := encode(v, false)
 		if err != nil {
 			return err
 		}
 		for i := 0; i < c.world.size; i++ {
 			if i != root {
-				if err := c.sendRaw(i, tag, data); err != nil {
+				if err := c.sendRaw(i, tag, data, false); err != nil {
 					return fmt.Errorf("mpi: bcast: %w", err)
 				}
 			}
@@ -586,22 +619,22 @@ func Allgather[T any](c *Comm, v T) ([]T, error) {
 			}
 			out[e.src] = tv
 		}
-		data, err := encode(out)
+		data, err := encode(out, false)
 		if err != nil {
 			return nil, err
 		}
 		for i := 1; i < w.size; i++ {
-			if err := c.sendRaw(i, tag-1, data); err != nil {
+			if err := c.sendRaw(i, tag-1, data, false); err != nil {
 				return nil, fmt.Errorf("mpi: allgather: %w", err)
 			}
 		}
 		return out, nil
 	}
-	data, err := encode(v)
+	data, err := encode(v, true)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.sendRaw(0, tag, data); err != nil {
+	if err := c.sendRaw(0, tag, data, true); err != nil {
 		return nil, fmt.Errorf("mpi: allgather: %w", err)
 	}
 	e, err := w.take(c.rank, 0, tag-1, time.Time{}, false)
@@ -633,11 +666,11 @@ func Gather[T any](c *Comm, root int, v T) ([]T, error) {
 		}
 		return out, nil
 	}
-	data, err := encode(v)
+	data, err := encode(v, true)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.sendRaw(root, tag, data); err != nil {
+	if err := c.sendRaw(root, tag, data, true); err != nil {
 		return nil, fmt.Errorf("mpi: gather: %w", err)
 	}
 	return nil, nil
@@ -671,11 +704,11 @@ func Alltoall[T any](c *Comm, send []T) ([]T, error) {
 		if dst == c.rank {
 			continue
 		}
-		data, err := encode(send[dst])
+		data, err := encode(send[dst], true)
 		if err != nil {
 			return nil, err
 		}
-		if err := c.sendRaw(dst, tag, data); err != nil {
+		if err := c.sendRaw(dst, tag, data, true); err != nil {
 			return nil, fmt.Errorf("mpi: alltoall: %w", err)
 		}
 	}

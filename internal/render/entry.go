@@ -7,16 +7,96 @@ import (
 	"godtfe/internal/geom"
 )
 
-// entryIndex locates the first tetrahedron pierced by an upward (+z) line
-// of sight: the paper's "2D triangulation of the projected convex hull"
-// (Section IV-A2, eq 14). We project every hull facet whose outward normal
-// has negative z ("facing the opposite direction of integration") onto the
-// x-y plane and index the projected triangles in a uniform bucket grid; a
-// point location in that structure yields the entry facet and the finite
-// tetrahedron behind it.
+// The entry-location layer answers "which downward hull facet does the
+// vertical line through ξ pierce?" (the paper's Section IV-A2, eq 14).
+// Three locators share one facet list, extracted once per Marcher:
+//
+//   - entryIndex: a uniform bucket grid over the projected facets
+//     (O(1) expected, query-order independent).
+//   - entryWalk: a visibility walk on the projected facet mesh — the
+//     paper's own entry structure, fast for spatially coherent queries.
+//   - the coherent mode in Marcher.Render: entryWalk seeded per worker
+//     from the previous column's facet, with entryIndex as fallback.
+//
+// All locators resolve containment with the same exact 2D orientation
+// predicate (geom.Orient2D) and the walk defers every boundary tie to the
+// bucket index, so they agree on the returned facet index for every query
+// — the foundation of the bit-identical-across-modes guarantee.
+
+// entryFace is one downward-facing hull facet: the facet vertices (outward
+// oriented), their x-y projections, and the finite tetrahedron behind it.
+// Downward facets project clockwise, so a point is inside the projection
+// iff it is not strictly left of any directed edge pa→pb→pc→pa.
+type entryFace struct {
+	a, b, c geom.Vec3
+	pa      geom.Vec2
+	pb      geom.Vec2
+	pc      geom.Vec2
+	behind  int32
+}
+
+// contains reports whether xi lies in the closed projected facet, using
+// the exact orientation predicate so every locator shares one notion of
+// containment.
+func (f *entryFace) contains(xi geom.Vec2) bool {
+	return geom.Orient2D(f.pa, f.pb, xi) <= 0 &&
+		geom.Orient2D(f.pb, f.pc, xi) <= 0 &&
+		geom.Orient2D(f.pc, f.pa, xi) <= 0
+}
+
+// buildEntryFaces extracts the downward-facing hull facets ("facing the
+// opposite direction of integration", eq 14) and their projected-edge
+// adjacency: nbr[f][e] is the facet across directed edge e of facet f
+// (edges in the order (a,b), (b,c), (c,a)), or -1 on the projected-hull
+// boundary. The facets of a lower convex hull tile its convex projection,
+// so crossing a -1 edge means the query is strictly outside every facet.
+func buildEntryFaces(tri *delaunay.Triangulation) (faces []entryFace, nbr [][3]int32) {
+	pts := tri.Points()
+	type edgeKey [2]int32
+	type edgeRef struct {
+		face int32
+		edge int32
+	}
+	open := make(map[edgeKey]edgeRef)
+	mk := func(a, b int32) edgeKey {
+		if a > b {
+			a, b = b, a
+		}
+		return edgeKey{a, b}
+	}
+	for _, hf := range tri.HullFaces() {
+		a, b, c := pts[hf.V[0]], pts[hf.V[1]], pts[hf.V[2]]
+		n := b.Sub(a).Cross(c.Sub(a)) // outward normal
+		if n.Z >= 0 {
+			continue // not a downward-facing (entry) facet
+		}
+		fi := int32(len(faces))
+		faces = append(faces, entryFace{
+			a: a, b: b, c: c,
+			pa: a.XY(), pb: b.XY(), pc: c.XY(),
+			behind: hf.Behind,
+		})
+		nbr = append(nbr, [3]int32{-1, -1, -1})
+		verts := [3]int32{hf.V[0], hf.V[1], hf.V[2]}
+		for e := 0; e < 3; e++ {
+			k := mk(verts[e], verts[(e+1)%3])
+			if prev, ok := open[k]; ok {
+				nbr[fi][e] = prev.face
+				nbr[prev.face][prev.edge] = fi
+				delete(open, k)
+			} else {
+				open[k] = edgeRef{face: fi, edge: int32(e)}
+			}
+		}
+	}
+	return faces, nbr
+}
+
+// entryIndex locates entry facets through a uniform bucket grid over the
+// projected hull bounding box: O(1) expected lookups, independent of query
+// order. It is the arbiter the other locators defer to on ties.
 type entryIndex struct {
 	faces []entryFace
-	// bucket grid over the projected hull bounding box
 	bmin  geom.Vec2
 	cell  float64
 	nx    int
@@ -24,27 +104,14 @@ type entryIndex struct {
 	cells [][]int32 // face indices per bucket
 }
 
-type entryFace struct {
-	a, b, c geom.Vec3 // facet vertices (outward oriented)
-	pa      geom.Vec2 // projections
-	pb      geom.Vec2
-	pc      geom.Vec2
-	behind  int32 // finite tet adjacent to the facet
-}
-
-func newEntryIndex(tri *delaunay.Triangulation) *entryIndex {
-	pts := tri.Points()
-	hull := tri.HullFaces()
-	e := &entryIndex{}
+func newEntryIndex(faces []entryFace) *entryIndex {
+	e := &entryIndex{faces: faces}
+	if len(faces) == 0 {
+		return e
+	}
 	box2 := [2]geom.Vec2{{X: math.Inf(1), Y: math.Inf(1)}, {X: math.Inf(-1), Y: math.Inf(-1)}}
-	for _, hf := range hull {
-		a, b, c := pts[hf.V[0]], pts[hf.V[1]], pts[hf.V[2]]
-		n := b.Sub(a).Cross(c.Sub(a)) // outward normal
-		if n.Z >= 0 {
-			continue // not a downward-facing (entry) facet
-		}
-		f := entryFace{a: a, b: b, c: c, pa: a.XY(), pb: b.XY(), pc: c.XY(), behind: hf.Behind}
-		e.faces = append(e.faces, f)
+	for i := range faces {
+		f := &faces[i]
 		for _, p := range [3]geom.Vec2{f.pa, f.pb, f.pc} {
 			box2[0].X = math.Min(box2[0].X, p.X)
 			box2[0].Y = math.Min(box2[0].Y, p.Y)
@@ -52,11 +119,8 @@ func newEntryIndex(tri *delaunay.Triangulation) *entryIndex {
 			box2[1].Y = math.Max(box2[1].Y, p.Y)
 		}
 	}
-	if len(e.faces) == 0 {
-		return e
-	}
 	// Bucket resolution ~ sqrt(#faces) per side.
-	side := int(math.Sqrt(float64(len(e.faces)))) + 1
+	side := int(math.Sqrt(float64(len(faces)))) + 1
 	w := box2[1].X - box2[0].X
 	h := box2[1].Y - box2[0].Y
 	size := math.Max(w, h)
@@ -68,7 +132,8 @@ func newEntryIndex(tri *delaunay.Triangulation) *entryIndex {
 	e.nx = int(w/e.cell) + 1
 	e.ny = int(h/e.cell) + 1
 	e.cells = make([][]int32, e.nx*e.ny)
-	for fi, f := range e.faces {
+	for fi := range faces {
+		f := &faces[fi]
 		lox, loy := e.bucket(geom.Vec2{
 			X: math.Min(f.pa.X, math.Min(f.pb.X, f.pc.X)),
 			Y: math.Min(f.pa.Y, math.Min(f.pb.Y, f.pc.Y)),
@@ -117,8 +182,7 @@ func (e *entryIndex) find(xi geom.Vec2) int32 {
 	}
 	bx, by := e.bucket(xi)
 	for _, fi := range e.cells[by*e.nx+bx] {
-		f := &e.faces[fi]
-		if geom.InTriangle2D(xi, f.pa, f.pb, f.pc) {
+		if e.faces[fi].contains(xi) {
 			return fi
 		}
 	}

@@ -1,45 +1,42 @@
 package render
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 
 	"godtfe/internal/geom"
 )
 
-// TestEntryWalkMatchesBuckets verifies the two entry locators agree on
-// which facet (and hence which starting tet) a vertical line pierces.
-func TestEntryWalkMatchesBuckets(t *testing.T) {
+// TestEntryLocatorsAgree verifies that all three entry locators return the
+// exact same facet index (not just the same starting tet) for every query:
+// the walk accepts only strict hits and defers ties to the bucket index,
+// so facet choice is bucket-identical by construction.
+func TestEntryLocatorsAgree(t *testing.T) {
 	pts := randPoints(500, 41)
 	f := fieldFor(t, pts)
 	m := NewMarcher(f)
-	walk := newEntryWalk(f.Tri)
+	cur := newEntryCursor(0)
 	rng := rand.New(rand.NewSource(42))
 	hits, misses := 0, 0
 	for trial := 0; trial < 2000; trial++ {
 		xi := geom.Vec2{X: rng.Float64()*1.2 - 0.1, Y: rng.Float64()*1.2 - 0.1}
 		bi := m.entry.find(xi)
-		wi := walk.find(xi)
-		if (bi < 0) != (wi < 0) {
-			t.Fatalf("miss disagreement at %v: bucket=%d walk=%d", xi, bi, wi)
+
+		m.SetEntryMode(EntryWalking)
+		wi := m.findEntryIdx(xi, nil)
+		m.SetEntryMode(EntryCoherent)
+		ci := m.findEntryIdx(xi, &cur)
+
+		if bi != wi {
+			t.Fatalf("walking disagreement at %v: bucket=%d walk=%d", xi, bi, wi)
+		}
+		if bi != ci {
+			t.Fatalf("coherent disagreement at %v: bucket=%d coherent=%d", xi, bi, ci)
 		}
 		if bi < 0 {
 			misses++
-			continue
-		}
-		hits++
-		// They may legitimately return different facets when xi sits on a
-		// shared edge; the starting tetrahedron must match otherwise.
-		bf, wf := &m.entry.faces[bi], &walk.faces[wi]
-		if bf.behind != wf.behind {
-			// Accept boundary ties: xi must then lie on an edge of one.
-			onEdge := math.Abs(geom.TriangleArea2(bf.pa, bf.pb, xi)) < 1e-12 ||
-				math.Abs(geom.TriangleArea2(bf.pb, bf.pc, xi)) < 1e-12 ||
-				math.Abs(geom.TriangleArea2(bf.pc, bf.pa, xi)) < 1e-12
-			if !onEdge {
-				t.Fatalf("facet disagreement at %v: behind %d vs %d", xi, bf.behind, wf.behind)
-			}
+		} else {
+			hits++
 		}
 	}
 	if hits == 0 || misses == 0 {
@@ -47,40 +44,51 @@ func TestEntryWalkMatchesBuckets(t *testing.T) {
 	}
 }
 
-// TestEntryModesSameRender renders a grid under both entry modes and
-// requires identical output.
+// TestEntryModesSameRender renders a grid under all three entry modes and
+// requires bit-identical output.
 func TestEntryModesSameRender(t *testing.T) {
 	pts := randPoints(400, 43)
 	f := fieldFor(t, pts)
 	m := NewMarcher(f)
 	spec := Spec{Min: geom.Vec2{X: 0.1, Y: 0.1}, Nx: 24, Ny: 24, Cell: 0.8 / 24, ZMin: 0, ZMax: 1}
+	m.SetEntryMode(EntryBuckets)
 	a, _, err := m.Render(spec, 2, ScheduleDynamic)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.SetEntryMode(EntryWalking)
-	b, _, err := m.Render(spec, 2, ScheduleDynamic)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range a.Data {
-		if a.Data[i] != b.Data[i] {
-			t.Fatalf("entry mode changed cell %d: %v vs %v", i, a.Data[i], b.Data[i])
+	for _, mode := range []EntryMode{EntryWalking, EntryCoherent} {
+		m.SetEntryMode(mode)
+		b, _, err := m.Render(spec, 2, ScheduleDynamic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("entry mode %d changed cell %d: %v vs %v", mode, i, a.Data[i], b.Data[i])
+			}
 		}
 	}
 }
 
 func TestEntryWalkEmptyAndMisses(t *testing.T) {
 	f := fieldFor(t, randPoints(50, 44))
-	w := newEntryWalk(f.Tri)
-	if got := w.find(geom.Vec2{X: 99, Y: 99}); got != -1 {
+	m := NewMarcher(f)
+	rng := uint64(1)
+	if got := m.walk.findFrom(0, geom.Vec2{X: 99, Y: 99}, &rng); got != -1 {
 		t.Fatalf("far miss = %d", got)
+	}
+	if got := m.walk.findFrom(-5, geom.Vec2{X: 0.5, Y: 0.5}, &rng); got != entryUnresolved {
+		t.Fatalf("bad hint should be unresolved, got %d", got)
+	}
+	if got := m.walk.findShared(geom.Vec2{X: 99, Y: 99}); got != -1 {
+		t.Fatalf("shared far miss = %d", got)
 	}
 }
 
 func BenchmarkEntryBuckets(b *testing.B) {
 	f := fieldFor(b, randPoints(20000, 45))
 	m := NewMarcher(f)
+	b.ReportAllocs()
 	b.ResetTimer()
 	// Coherent scan like a grid render.
 	n := 256
@@ -93,12 +101,28 @@ func BenchmarkEntryBuckets(b *testing.B) {
 
 func BenchmarkEntryWalking(b *testing.B) {
 	f := fieldFor(b, randPoints(20000, 45))
-	w := newEntryWalk(f.Tri)
+	m := NewMarcher(f)
+	m.SetEntryMode(EntryWalking)
+	b.ReportAllocs()
 	b.ResetTimer()
 	n := 256
 	for i := 0; i < b.N; i++ {
 		j := i % (n * n)
 		xi := geom.Vec2{X: float64(j%n) / float64(n), Y: float64(j/n) / float64(n)}
-		w.find(xi)
+		m.findEntryIdx(xi, nil)
+	}
+}
+
+func BenchmarkEntryCoherent(b *testing.B) {
+	f := fieldFor(b, randPoints(20000, 45))
+	m := NewMarcher(f)
+	cur := newEntryCursor(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 256
+	for i := 0; i < b.N; i++ {
+		j := i % (n * n)
+		xi := geom.Vec2{X: float64(j%n) / float64(n), Y: float64(j/n) / float64(n)}
+		m.findEntryIdx(xi, &cur)
 	}
 }

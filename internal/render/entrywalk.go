@@ -3,17 +3,23 @@ package render
 import (
 	"sync/atomic"
 
-	"godtfe/internal/delaunay"
 	"godtfe/internal/geom"
 )
 
+// entryUnresolved is returned by entryWalk.findFrom when the walk cannot
+// certify a strict hit or a strict miss: the query lies on a facet edge or
+// vertex (a containment tie between neighboring facets), the start hint is
+// unusable, or the step budget ran out. Callers resolve through the bucket
+// index, which is the single arbiter for ties — this is what keeps every
+// entry mode's facet choice, and hence the rendered grid, bit-identical.
+const entryUnresolved = int32(-2)
+
 // entryWalk is the paper's own entry-location structure (Section IV-A2):
-// the downward-facing hull facets (n_hull · ẑ < 0, eq 14) projected onto
-// the x-y plane form a 2D triangulation of the projected hull — the
-// projection of a lower convex hull, i.e. a regular triangulation, on
-// which a (remembering, stochastic) visibility walk terminates. It is the
-// alternative to entryIndex's bucket grid; the ablation benchmark compares
-// the two.
+// the downward-facing hull facets projected onto the x-y plane form a 2D
+// triangulation of the projected hull — the projection of a lower convex
+// hull, i.e. a regular triangulation, on which a (remembering, stochastic)
+// visibility walk terminates. Spatially coherent queries (grid scans) walk
+// O(1) facets per query.
 type entryWalk struct {
 	faces []entryFace
 	// nbr[f][e] is the facet across edge e of facet f (edges in the order
@@ -23,78 +29,46 @@ type entryWalk struct {
 	rng  atomic.Uint64
 }
 
-func newEntryWalk(tri *delaunay.Triangulation) *entryWalk {
-	pts := tri.Points()
-	hull := tri.HullFaces()
-	w := &entryWalk{}
+func newEntryWalk(faces []entryFace, nbr [][3]int32) *entryWalk {
+	w := &entryWalk{faces: faces, nbr: nbr}
 	w.rng.Store(0x9e3779b97f4a7c15)
-	type edgeKey [2]int32
-	type edgeRef struct {
-		face int32
-		edge int32
-	}
-	open := make(map[edgeKey]edgeRef)
-	mk := func(a, b int32) edgeKey {
-		if a > b {
-			a, b = b, a
-		}
-		return edgeKey{a, b}
-	}
-	for _, hf := range hull {
-		a, b, c := pts[hf.V[0]], pts[hf.V[1]], pts[hf.V[2]]
-		n := b.Sub(a).Cross(c.Sub(a))
-		if n.Z >= 0 {
-			continue
-		}
-		fi := int32(len(w.faces))
-		w.faces = append(w.faces, entryFace{
-			a: a, b: b, c: c,
-			pa: a.XY(), pb: b.XY(), pc: c.XY(),
-			behind: hf.Behind,
-		})
-		w.nbr = append(w.nbr, [3]int32{-1, -1, -1})
-		verts := [3]int32{hf.V[0], hf.V[1], hf.V[2]}
-		for e := 0; e < 3; e++ {
-			k := mk(verts[e], verts[(e+1)%3])
-			if prev, ok := open[k]; ok {
-				w.nbr[fi][e] = prev.face
-				w.nbr[prev.face][prev.edge] = fi
-				delete(open, k)
-			} else {
-				open[k] = edgeRef{face: fi, edge: int32(e)}
-			}
-		}
-	}
 	return w
 }
 
-// find walks from the remembered facet toward xi and returns the pierced
-// facet index, or -1 when the vertical line misses the projected hull.
-// Safe for concurrent use (the shared hint is only a hint).
-func (w *entryWalk) find(xi geom.Vec2) int32 {
+// findFrom walks from facet start toward xi and classifies the query:
+//
+//	fi >= 0          xi is strictly inside facet fi (the unique such facet)
+//	fi == -1         xi is strictly outside the projected hull (a miss)
+//	entryUnresolved  tie, bad hint, or budget exhausted — ask the buckets
+//
+// Downward facets project clockwise (outward normal z < 0), so the
+// interior is on the RIGHT of each directed edge: strictly left means xi
+// lies beyond that edge, and crossing a boundary (-1) edge proves xi is
+// outside the convex projected hull. rng is caller-owned xorshift state
+// (must be non-zero) for the stochastic edge order that guarantees
+// termination on regular triangulations; it only influences the path
+// taken, never the classification, so callers may use uncoordinated
+// per-worker streams.
+func (w *entryWalk) findFrom(start int32, xi geom.Vec2, rng *uint64) int32 {
 	nf := int32(len(w.faces))
 	if nf == 0 {
 		return -1
 	}
-	cur := w.hint.Load()
-	if cur < 0 || cur >= nf {
-		cur = 0
+	if start < 0 || start >= nf {
+		return entryUnresolved
 	}
-	// Downward facets project clockwise (outward normal z < 0), so the
-	// interior is on the RIGHT of each directed edge: strictly left means
-	// xi lies beyond that edge.
+	cur := start
 	maxSteps := int(3*nf) + 16
 	for step := 0; step < maxSteps; step++ {
 		f := &w.faces[cur]
-		// xorshift for stochastic edge order (termination on regular
-		// triangulations).
-		x := w.rng.Load()
+		x := *rng
 		x ^= x >> 12
 		x ^= x << 25
 		x ^= x >> 27
-		w.rng.Store(x)
+		*rng = x
 		off := int(x % 3)
 		moved := false
+		tie := false
 		for k := 0; k < 3; k++ {
 			e := (k + off) % 3
 			var s, t geom.Vec2
@@ -106,28 +80,43 @@ func (w *entryWalk) find(xi geom.Vec2) int32 {
 			default:
 				s, t = f.pc, f.pa
 			}
-			if geom.Orient2D(s, t, xi) > 0 { // left of CW edge: outside
+			o := geom.Orient2D(s, t, xi)
+			if o > 0 { // strictly left of CW edge: outside this facet
 				n := w.nbr[cur][e]
 				if n < 0 {
-					return -1 // left the projected hull
+					return -1 // strictly outside the convex projected hull
 				}
 				cur = n
 				moved = true
 				break
 			}
+			if o == 0 {
+				tie = true
+			}
 		}
 		if !moved {
-			w.hint.Store(cur)
+			if tie {
+				return entryUnresolved // on an edge or vertex: defer to buckets
+			}
 			return cur
 		}
 	}
-	// Pathological degeneracy: fall back to scanning.
-	for i := range w.faces {
-		f := &w.faces[i]
-		if geom.InTriangle2D(xi, f.pa, f.pb, f.pc) {
-			w.hint.Store(int32(i))
-			return int32(i)
-		}
+	// Pathological: the stochastic walk failed to settle in budget.
+	return entryUnresolved
+}
+
+// findShared is findFrom with process-shared hint and rng state — the
+// stateless EntryWalking mode usable from concurrent Column calls. The
+// shared state is only a hint/entropy source; races just cost steps.
+func (w *entryWalk) findShared(xi geom.Vec2) int32 {
+	x := w.rng.Load()
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
 	}
-	return -1
+	fi := w.findFrom(w.hint.Load(), xi, &x)
+	w.rng.Store(x)
+	if fi >= 0 {
+		w.hint.Store(fi)
+	}
+	return fi
 }

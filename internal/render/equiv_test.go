@@ -1,0 +1,264 @@
+package render
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"godtfe/internal/geom"
+	"godtfe/internal/grid"
+	"godtfe/internal/synth"
+)
+
+// equivCatalogs builds the three catalog families the equivalence tests
+// run over: clustered (halo profiles), an exact lattice (grid-aligned
+// columns strike vertices and edges), and a dirty mix (duplicates and
+// coplanar points).
+func equivCatalogs() map[string][]geom.Vec3 {
+	cats := make(map[string][]geom.Vec3)
+
+	box := geom.AABB{Min: geom.Vec3{}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	cats["clustered"] = synth.HaloSet(1500, box, synth.DefaultHaloSpec(), 7)
+
+	var lattice []geom.Vec3
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			for k := 0; k < 6; k++ {
+				lattice = append(lattice, geom.Vec3{X: float64(i) / 5, Y: float64(j) / 5, Z: float64(k) / 5})
+			}
+		}
+	}
+	cats["lattice"] = lattice
+
+	rng := rand.New(rand.NewSource(42))
+	var dirty []geom.Vec3
+	for len(dirty) < 300 {
+		p := geom.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		dirty = append(dirty, p)
+		if rng.Float64() < 0.2 {
+			dirty = append(dirty, p) // exact duplicate
+		}
+		if rng.Float64() < 0.3 {
+			// coplanar companion: same z, snapped x/y
+			dirty = append(dirty, geom.Vec3{
+				X: math.Round(p.X*4) / 4, Y: math.Round(p.Y*4) / 4, Z: p.Z,
+			})
+		}
+	}
+	cats["dirty"] = dirty
+	return cats
+}
+
+func equivSpec(pts []geom.Vec3) Spec {
+	b := geom.BoundsOf(pts)
+	const n = 48
+	pad := 0.02 * (b.Max.X - b.Min.X)
+	w := math.Max(b.Max.X-b.Min.X, b.Max.Y-b.Min.Y) + 2*pad
+	return Spec{
+		Min: geom.Vec2{X: b.Min.X - pad, Y: b.Min.Y - pad},
+		Nx:  n, Ny: n, Cell: w / n,
+		Samples: 2, Seed: 5,
+	}
+}
+
+// TestEntryModesEquivalence is the cross-mode bit-identity gate: on every
+// catalog family, all three entry modes must produce byte-for-byte
+// identical grids, identical per-column outcome tallies, and identical
+// total step counts — under both serial and parallel schedules.
+func TestEntryModesEquivalence(t *testing.T) {
+	for name, pts := range equivCatalogs() {
+		t.Run(name, func(t *testing.T) {
+			f := fieldFor(t, pts)
+			spec := equivSpec(pts)
+			type result struct {
+				g        *grid.Grid2D
+				outcomes OutcomeCounts
+				steps    int64
+			}
+			render := func(mode EntryMode, workers int, sched Schedule) result {
+				m := NewMarcher(f)
+				m.SetEntryMode(mode)
+				g, stats, err := m.Render(spec, workers, sched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var steps int64
+				for _, s := range stats {
+					steps += s.Steps
+				}
+				return result{g: g, outcomes: TotalOutcomes(stats), steps: steps}
+			}
+			ref := render(EntryBuckets, 1, ScheduleDynamic)
+			for _, mode := range []EntryMode{EntryBuckets, EntryWalking, EntryCoherent} {
+				for _, workers := range []int{1, 4} {
+					got := render(mode, workers, ScheduleDynamic)
+					for i, v := range got.g.Data {
+						if v != ref.g.Data[i] { // exact: no tolerance
+							t.Fatalf("mode %d workers %d: cell %d differs: %g != %g",
+								mode, workers, i, v, ref.g.Data[i])
+						}
+					}
+					if got.outcomes != ref.outcomes {
+						t.Errorf("mode %d workers %d: outcomes %v != %v", mode, workers, got.outcomes, ref.outcomes)
+					}
+					if got.steps != ref.steps {
+						t.Errorf("mode %d workers %d: steps %d != %d", mode, workers, got.steps, ref.steps)
+					}
+				}
+			}
+		})
+	}
+}
+
+// refTryColumn reproduces the pre-SoA march verbatim: entry through the
+// bucket index, exit faces through the gather-based exitVertical, density
+// through dtfe.Field.Interpolate, hull exits through Tri.IsInfinite. It is
+// the pinned reference for TestMarchMatchesReference: the SoA fast path in
+// tryColumn must agree with it bit for bit.
+func (m *Marcher) refTryColumn(xi geom.Vec2, zmin, zmax float64) (sigma float64, steps int, badTet int32, ok bool) {
+	fi := m.entry.find(xi)
+	if fi < 0 {
+		return 0, 0, -1, true
+	}
+	f := &m.entry.faces[fi]
+	clip := zmin < zmax
+	ray := geom.PluckerFromRay(geom.Vec3{X: xi.X, Y: xi.Y, Z: 0}, geom.Vec3{Z: 1})
+	zPrev, entryOK := crossZ(ray, f.a, f.b, f.c, +1)
+	if !entryOK {
+		return 0, 0, f.behind, false
+	}
+	cur := f.behind
+	tets := m.F.Tri.Tets()
+	pts := m.F.Tri.Points()
+	maxSteps := len(tets) + 16
+	for ; steps < maxSteps; steps++ {
+		tt := &tets[cur]
+		exitFace, zExit, ok := exitVertical(tt, pts, xi)
+		if !ok {
+			return sigma, steps, cur, false
+		}
+		lo, hi := zPrev, zExit
+		if clip {
+			if lo < zmin {
+				lo = zmin
+			}
+			if hi > zmax {
+				hi = zmax
+			}
+		}
+		if hi > lo {
+			mid := geom.Vec3{X: xi.X, Y: xi.Y, Z: (lo + hi) / 2}
+			sigma += m.F.Interpolate(cur, mid) * (hi - lo)
+		}
+		next := tt.N[exitFace]
+		if m.F.Tri.IsInfinite(next) {
+			return sigma, steps + 1, -1, true
+		}
+		if clip && zExit >= zmax {
+			return sigma, steps + 1, -1, true
+		}
+		zPrev = zExit
+		cur = next
+	}
+	return sigma, steps, cur, false
+}
+
+// refColumn mirrors Marcher.column on top of refTryColumn (same
+// perturb-retry ladder, same fallback), so whole-column results are
+// comparable exactly.
+func (m *Marcher) refColumn(xi geom.Vec2, zmin, zmax float64) (float64, int, ColumnOutcome) {
+	if !xi.IsFinite() {
+		return 0, 0, ColumnAbandoned
+	}
+	ladder := func(base int) (float64, int, int, bool) {
+		var sigma float64
+		var steps int
+		x := xi
+		for attempt := 0; ; attempt++ {
+			s, n, badTet, ok := m.refTryColumn(x, zmin, zmax)
+			steps += n
+			sigma = s
+			if ok {
+				return sigma, steps, attempt, true
+			}
+			if attempt >= m.MaxRetries {
+				return sigma, steps, attempt, false
+			}
+			x = m.perturb(x, badTet, base+attempt)
+		}
+	}
+	sigma, steps, attempts, ok := ladder(0)
+	if ok {
+		if attempts == 0 {
+			return sigma, steps, ColumnClean
+		}
+		return sigma, steps, ColumnPerturbed
+	}
+	fsigma, fsteps, _, fok := ladder(m.MaxRetries + 1)
+	steps += fsteps
+	if fok {
+		return fsigma, steps, ColumnFallback
+	}
+	if fsigma > sigma {
+		sigma = fsigma
+	}
+	return sigma, steps, ColumnAbandoned
+}
+
+// TestMarchMatchesReference pins the SoA rewrite to the original
+// pointer-chasing implementation: for every catalog family, Column (the
+// SoA fast path under the default entry mode) must return bit-identical
+// sigma, identical step counts, and identical outcomes to the verbatim
+// pre-SoA reference on a dense set of probe lines, including grid-aligned
+// lines through lattice vertices and edges.
+func TestMarchMatchesReference(t *testing.T) {
+	for name, pts := range equivCatalogs() {
+		t.Run(name, func(t *testing.T) {
+			f := fieldFor(t, pts)
+			m := NewMarcher(f)
+			b := geom.BoundsOf(pts)
+			rng := rand.New(rand.NewSource(11))
+			var probes []geom.Vec2
+			for i := 0; i < 500; i++ {
+				probes = append(probes, geom.Vec2{
+					X: b.Min.X + rng.Float64()*(b.Max.X-b.Min.X)*1.04 - 0.02,
+					Y: b.Min.Y + rng.Float64()*(b.Max.Y-b.Min.Y)*1.04 - 0.02,
+				})
+			}
+			// Grid-aligned probes: exact vertex/edge strikes on the lattice.
+			for i := 0; i < 6; i++ {
+				for j := 0; j < 6; j++ {
+					probes = append(probes, geom.Vec2{X: float64(i) / 5, Y: float64(j) / 5})
+				}
+			}
+			for _, clip := range [][2]float64{{0, 0}, {0.2, 0.8}} {
+				for _, xi := range probes {
+					gotS, gotN, gotO := m.Column(xi, clip[0], clip[1])
+					refS, refN, refO := m.refColumn(xi, clip[0], clip[1])
+					if gotS != refS || gotN != refN || gotO != refO {
+						t.Fatalf("xi=%v clip=%v: got (Σ=%v steps=%d %v), ref (Σ=%v steps=%d %v)",
+							xi, clip, gotS, gotN, gotO, refS, refN, refO)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestColumnZeroAllocs enforces the hot-loop allocation budget: a Column
+// call (entry location + full march) performs zero heap allocations.
+func TestColumnZeroAllocs(t *testing.T) {
+	pts := synth.HaloSet(2000, geom.AABB{Max: geom.Vec3{X: 1, Y: 1, Z: 1}}, synth.DefaultHaloSpec(), 3)
+	f := fieldFor(t, pts)
+	m := NewMarcher(f)
+	cur := newEntryCursor(0)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		xi := geom.Vec2{X: 0.1 + 0.0017*float64(i%400), Y: 0.2 + 0.0013*float64(i%350)}
+		i++
+		m.column(xi, 0, 0, &cur)
+	})
+	if allocs != 0 {
+		t.Fatalf("Column allocates: %v allocs/op", allocs)
+	}
+}

@@ -17,8 +17,15 @@ import (
 // intersection interval and multiply by the chord length. No intermediate
 // 3D grid is ever built, and the interpolation points are the
 // mathematically optimal ones.
+//
+// The hot loop runs against an SoA snapshot of the mesh (see soaMesh) and
+// the entry facet of each column is located coherently from the previous
+// column in the worker's scan (see EntryCoherent); both are exact
+// restructurings, so the rendered grid is bit-identical across entry modes
+// and identical to the original pointer-chasing implementation.
 type Marcher struct {
 	F     *dtfe.Field
+	soa   soaMesh
 	entry *entryIndex
 	walk  *entryWalk
 	mode  EntryMode
@@ -35,42 +42,77 @@ const (
 	// EntryBuckets indexes the projected downward facets in a uniform
 	// bucket grid (O(1) expected lookups, query-order independent).
 	EntryBuckets EntryMode = iota
-	// EntryWalking walks the projected hull facet mesh from the previous
-	// hit — the paper's own description of the entry step. Fast for
-	// spatially coherent queries (grid scans).
+	// EntryWalking walks the projected hull facet mesh from a
+	// process-shared remembered facet — the paper's own description of the
+	// entry step. Boundary ties fall back to the bucket index so the
+	// located facet matches EntryBuckets exactly.
 	EntryWalking
+	// EntryCoherent (the default) seeds each column's entry walk from the
+	// previous column located by the same worker — entry location is O(1)
+	// amortized for grid scans — falling back to the bucket index on a
+	// miss, a tie, or after a fallback restart. Output is bit-identical to
+	// EntryBuckets by construction: a strict hit names the unique
+	// containing facet and everything else is delegated to the buckets.
+	EntryCoherent
 )
 
-// SetEntryMode switches the entry-location structure (building the walk
-// mesh on first use).
-func (m *Marcher) SetEntryMode(mode EntryMode) {
-	m.mode = mode
-	if mode == EntryWalking && m.walk == nil {
-		m.walk = newEntryWalk(m.F.Tri)
-	}
+// SetEntryMode switches the entry-location strategy.
+func (m *Marcher) SetEntryMode(mode EntryMode) { m.mode = mode }
+
+// entryCursor is per-worker coherent-scan state: the facet located for the
+// previous column (the walk seed) and a private xorshift stream for the
+// walk's stochastic edge order.
+type entryCursor struct {
+	hint int32
+	rng  uint64
 }
 
-// findEntry returns the pierced downward facet, or nil on a miss.
-func (m *Marcher) findEntry(xi geom.Vec2) *entryFace {
-	if m.mode == EntryWalking {
-		if fi := m.walk.find(xi); fi >= 0 {
-			return &m.walk.faces[fi]
+func newEntryCursor(worker int) entryCursor {
+	r := splitmix64(uint64(worker)+1) | 1
+	return entryCursor{hint: -1, rng: r}
+}
+
+// findEntryIdx locates the entry facet index for xi under the marcher's
+// entry mode. cur carries coherent-scan state and may be nil (stateless
+// calls degrade to the bucket index). Every path returns the same facet
+// index the bucket locator would.
+func (m *Marcher) findEntryIdx(xi geom.Vec2, cur *entryCursor) int32 {
+	switch m.mode {
+	case EntryWalking:
+		if fi := m.walk.findShared(xi); fi != entryUnresolved {
+			return fi
 		}
-		return nil
+	case EntryCoherent:
+		if cur != nil && cur.hint >= 0 {
+			if fi := m.walk.findFrom(cur.hint, xi, &cur.rng); fi != entryUnresolved {
+				if fi >= 0 {
+					cur.hint = fi
+				}
+				return fi
+			}
+		}
 	}
-	if fi := m.entry.find(xi); fi >= 0 {
-		return &m.entry.faces[fi]
+	fi := m.entry.find(xi)
+	if cur != nil && fi >= 0 {
+		cur.hint = fi
 	}
-	return nil
+	return fi
 }
 
 // NewMarcher prepares the kernel: it extracts the downward-facing hull
-// facets (eq 14) and builds the 2D entry-location index.
+// facets (eq 14), builds the 2D entry-location structures (bucket index
+// and walk mesh over a shared facet list), and flattens the tetrahedra
+// into the SoA view the march runs against. The Marcher snapshots the
+// field's densities and gradients; build a new one after Field.SetValues.
 func NewMarcher(f *dtfe.Field) *Marcher {
 	diag := geom.BoundsOf(f.Tri.Points()).Diagonal()
+	faces, nbr := buildEntryFaces(f.Tri)
 	return &Marcher{
 		F:          f,
-		entry:      newEntryIndex(f.Tri),
+		soa:        newSoAMesh(f),
+		entry:      newEntryIndex(faces),
+		walk:       newEntryWalk(faces, nbr),
+		mode:       EntryCoherent,
 		eps:        1e-9 * diag,
 		MaxRetries: 16,
 	}
@@ -88,7 +130,15 @@ func (m *Marcher) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, 
 	if samples < 1 {
 		samples = 1
 	}
+	if workers <= 0 {
+		workers = 1
+	}
+	cursors := make([]entryCursor, workers)
+	for w := range cursors {
+		cursors[w] = newEntryCursor(w)
+	}
 	stats := forEachRow(spec.Ny, workers, sched, func(w, j int, st *WorkerStat) {
+		cur := &cursors[w]
 		for i := 0; i < spec.Nx; i++ {
 			var acc float64
 			for s := 0; s < samples; s++ {
@@ -97,7 +147,7 @@ func (m *Marcher) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, 
 					xi.X += (jitter(spec.Seed, i, j, s, 0) - 0.5) * spec.Cell
 					xi.Y += (jitter(spec.Seed, i, j, s, 1) - 0.5) * spec.Cell
 				}
-				sigma, steps, outcome := m.Column(xi, spec.ZMin, spec.ZMax)
+				sigma, steps, outcome := m.column(xi, spec.ZMin, spec.ZMax, cur)
 				acc += sigma
 				st.Steps += int64(steps)
 				st.Columns.Note(outcome)
@@ -117,10 +167,16 @@ func (m *Marcher) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, 
 // retry budget ran out), or abandoned (Σ is a partial lower bound and
 // must be counted as lost flux, never reported silently).
 func (m *Marcher) Column(xi geom.Vec2, zmin, zmax float64) (float64, int, ColumnOutcome) {
+	return m.column(xi, zmin, zmax, nil)
+}
+
+// column is Column with optional coherent-scan state (Render's per-worker
+// cursor).
+func (m *Marcher) column(xi geom.Vec2, zmin, zmax float64, cur *entryCursor) (float64, int, ColumnOutcome) {
 	if !xi.IsFinite() {
 		return 0, 0, ColumnAbandoned
 	}
-	sigma, steps, attempts, ok := m.marchRetries(xi, zmin, zmax, false)
+	sigma, steps, attempts, ok := m.marchRetries(xi, zmin, zmax, false, cur)
 	if ok {
 		if attempts == 0 {
 			return sigma, steps, ColumnClean
@@ -132,7 +188,7 @@ func (m *Marcher) Column(xi geom.Vec2, zmin, zmax float64) (float64, int, Column
 	// (the walking index's locality hint may itself be the problem) with
 	// a fresh, larger perturbation ladder, instead of returning the
 	// partial Σ from the failed march.
-	fsigma, fsteps, _, fok := m.marchRetries(xi, zmin, zmax, true)
+	fsigma, fsteps, _, fok := m.marchRetries(xi, zmin, zmax, true, cur)
 	steps += fsteps
 	if fok {
 		return fsigma, steps, ColumnFallback
@@ -150,13 +206,13 @@ func (m *Marcher) Column(xi geom.Vec2, zmin, zmax float64) (float64, int, Column
 // fallback=true the entry face is re-located through the bucket index and
 // the perturbation magnitudes start one rung beyond the first ladder, so
 // the retry sequence explores genuinely new line positions.
-func (m *Marcher) marchRetries(xi geom.Vec2, zmin, zmax float64, fallback bool) (sigma float64, steps int, attempts int, ok bool) {
+func (m *Marcher) marchRetries(xi geom.Vec2, zmin, zmax float64, fallback bool, cur *entryCursor) (sigma float64, steps int, attempts int, ok bool) {
 	base := 0
 	if fallback {
 		base = m.MaxRetries + 1
 	}
 	for attempt := 0; ; attempt++ {
-		s, n, badTet, ok := m.tryColumn(xi, zmin, zmax, fallback)
+		s, n, badTet, ok := m.tryColumn(xi, zmin, zmax, fallback, cur)
 		steps += n
 		sigma = s
 		if ok {
@@ -171,6 +227,8 @@ func (m *Marcher) marchRetries(xi geom.Vec2, zmin, zmax float64, fallback bool) 
 
 // perturb implements the paper's Perturb subroutine (Fig 2): move ξ toward
 // the projection of a vertex of the degenerate tetrahedron by at most ε.
+// This is a cold path (degeneracies only), so it reads the triangulation
+// directly rather than the SoA view.
 func (m *Marcher) perturb(xi geom.Vec2, tet int32, attempt int) geom.Vec2 {
 	eps := m.eps * float64(uint(1)<<uint(min(attempt, 20)))
 	pts := m.F.Tri.Points()
@@ -178,7 +236,7 @@ func (m *Marcher) perturb(xi geom.Vec2, tet int32, attempt int) geom.Vec2 {
 		tt := &m.F.Tri.Tets()[tet]
 		for k := 0; k < 4; k++ {
 			v := tt.V[(k+attempt)&3]
-			if v == delaunay3Inf {
+			if v == delaunay.Inf {
 				continue
 			}
 			delta := pts[v].XY().Sub(xi)
@@ -196,24 +254,26 @@ func (m *Marcher) perturb(xi geom.Vec2, tet int32, attempt int) geom.Vec2 {
 	return xi.Add(geom.Vec2{X: eps, Y: eps * 0.7071067811865476})
 }
 
-const delaunay3Inf = int32(-1)
-
-// tryColumn marches once. ok=false reports a Plücker degeneracy (the ray
-// met an edge or vertex), returning the tet where it happened. With
-// forceBuckets the entry face comes from the bucket index regardless of
-// the configured entry mode (the fallback's fresh entry-location fix).
-func (m *Marcher) tryColumn(xi geom.Vec2, zmin, zmax float64, forceBuckets bool) (sigma float64, steps int, badTet int32, ok bool) {
-	var f *entryFace
+// tryColumn marches once against the SoA mesh view. ok=false reports a
+// Plücker degeneracy (the ray met an edge or vertex), returning the tet
+// where it happened. With forceBuckets the entry face comes from the
+// bucket index regardless of the configured entry mode (the fallback's
+// fresh entry-location fix). The loop performs no allocations: all state
+// is a fixed-size vertex buffer on the stack plus the caller's cursor.
+func (m *Marcher) tryColumn(xi geom.Vec2, zmin, zmax float64, forceBuckets bool, cur *entryCursor) (sigma float64, steps int, badTet int32, ok bool) {
+	var fi int32
 	if forceBuckets {
-		if fi := m.entry.find(xi); fi >= 0 {
-			f = &m.entry.faces[fi]
+		fi = m.entry.find(xi)
+		if cur != nil && fi >= 0 {
+			cur.hint = fi // re-seed the coherent scan from the fresh fix
 		}
 	} else {
-		f = m.findEntry(xi)
+		fi = m.findEntryIdx(xi, cur)
 	}
-	if f == nil {
+	if fi < 0 {
 		return 0, 0, -1, true // line misses the hull: Σ = 0
 	}
+	f := &m.entry.faces[fi]
 	clip := zmin < zmax
 	ray := geom.PluckerFromRay(geom.Vec3{X: xi.X, Y: xi.Y, Z: 0}, geom.Vec3{Z: 1})
 
@@ -221,17 +281,69 @@ func (m *Marcher) tryColumn(xi geom.Vec2, zmin, zmax float64, forceBuckets bool)
 	if !entryOK {
 		return 0, 0, f.behind, false
 	}
-	cur := f.behind
+	tet := f.behind
 
-	tets := m.F.Tri.Tets()
-	pts := m.F.Tri.Points()
-	maxSteps := len(tets) + 16
+	stets := m.soa.tets
+	pts := m.soa.pts
+	maxSteps := len(stets) + 16
+	xiX, xiY := xi.X, xi.Y
 	for ; steps < maxSteps; steps++ {
-		tt := &tets[cur]
-		exitFace, zExit, ok := exitVertical(tt, pts, xi)
-		if !ok {
-			return sigma, steps, cur, false // degeneracy: perturb and retry
+		st := &stets[tet]
+		p0 := pts[st.V[0]]
+		p1 := pts[st.V[1]]
+		p2 := pts[st.V[2]]
+		p3 := pts[st.V[3]]
+		// The six projected Plücker edge products (edgeSlots order),
+		// expression-identical to exitVerticalVerts so the inlined fast
+		// path below reproduces it bit for bit.
+		s0 := (p1.X-p0.X)*(p0.Y-xiY) + (p1.Y-p0.Y)*(xiX-p0.X)
+		s1 := (p2.X-p0.X)*(p0.Y-xiY) + (p2.Y-p0.Y)*(xiX-p0.X)
+		s2 := (p3.X-p0.X)*(p0.Y-xiY) + (p3.Y-p0.Y)*(xiX-p0.X)
+		s3 := (p2.X-p1.X)*(p1.Y-xiY) + (p2.Y-p1.Y)*(xiX-p1.X)
+		s4 := (p3.X-p1.X)*(p1.Y-xiY) + (p3.Y-p1.Y)*(xiX-p1.X)
+		s5 := (p3.X-p2.X)*(p2.Y-xiY) + (p3.Y-p2.Y)*(xiX-p2.X)
+
+		var zExit float64
+		var next int32
+		if s0 != 0 && s1 != 0 && s2 != 0 && s3 != 0 && s4 != 0 && s5 != 0 {
+			// Fast path: no exact zeros, so exitVerticalVerts's
+			// simulation-of-simplicity tie-breaks and conservative bail-outs
+			// can never fire; the exit face is the first (and only) face
+			// whose three signed products are negative. Each branch fixes
+			// the face, so w's, zExit, and the neighbor load are all
+			// constant-indexed.
+			switch {
+			case s3 < 0 && s5 < 0 && s4 > 0: // face 0, verts {1,2,3}
+				w0, w1, w2 := s3, s5, -s4
+				zExit = (w1*p1.Z + w2*p2.Z + w0*p3.Z) / (w0 + w1 + w2)
+				next = st.N[0]
+			case s2 < 0 && s5 > 0 && s1 > 0: // face 1, verts {0,3,2}
+				w0, w1, w2 := s2, -s5, -s1
+				zExit = (w1*p0.Z + w2*p3.Z + w0*p2.Z) / (w0 + w1 + w2)
+				next = st.N[1]
+			case s0 < 0 && s4 < 0 && s2 > 0: // face 2, verts {0,1,3}
+				w0, w1, w2 := s0, s4, -s2
+				zExit = (w1*p0.Z + w2*p1.Z + w0*p3.Z) / (w0 + w1 + w2)
+				next = st.N[2]
+			case s1 < 0 && s3 > 0 && s0 > 0: // face 3, verts {0,2,1}
+				w0, w1, w2 := s1, -s3, -s0
+				zExit = (w1*p0.Z + w2*p2.Z + w0*p1.Z) / (w0 + w1 + w2)
+				next = st.N[3]
+			default:
+				return sigma, steps, tet, false // no exit face: perturb
+			}
+		} else {
+			// Cold path: an exact zero product — delegate to the full core
+			// with its symbolic tie-breaks.
+			v := [4]geom.Vec3{p0, p1, p2, p3}
+			exitFace, z, ok := exitVerticalVerts(&v, xi)
+			if !ok {
+				return sigma, steps, tet, false // degeneracy: perturb and retry
+			}
+			zExit = z
+			next = st.N[exitFace]
 		}
+
 		lo, hi := zPrev, zExit
 		if clip {
 			if lo < zmin {
@@ -242,21 +354,23 @@ func (m *Marcher) tryColumn(xi geom.Vec2, zmin, zmax float64, forceBuckets bool)
 			}
 		}
 		if hi > lo {
-			mid := geom.Vec3{X: xi.X, Y: xi.Y, Z: (lo + hi) / 2}
-			sigma += m.F.Interpolate(cur, mid) * (hi - lo)
+			// interpolate(p0, mid) inlined: D0 + G·(mid − p0), dot
+			// accumulated X then Y then Z — dtfe.Field.Interpolate's exact
+			// expression tree.
+			midZ := (lo + hi) / 2
+			sigma += (st.D0 + (st.G.X*(xiX-p0.X) + st.G.Y*(xiY-p0.Y) + st.G.Z*(midZ-p0.Z))) * (hi - lo)
 		}
-		next := tt.N[exitFace]
-		if m.F.Tri.IsInfinite(next) {
+		if next < 0 {
 			return sigma, steps + 1, -1, true // left the hull: done
 		}
 		if clip && zExit >= zmax {
 			return sigma, steps + 1, -1, true
 		}
 		zPrev = zExit
-		cur = next
+		tet = next
 	}
 	// A cycle can only arise from an undetected degeneracy; perturb.
-	return sigma, steps, cur, false
+	return sigma, steps, tet, false
 }
 
 // Tetrahedron edges by vertex-slot pair, and each outward face's edge loop
@@ -280,9 +394,20 @@ var (
 )
 
 // exitVertical finds the face through which the vertical line at xi leaves
-// the tetrahedron, and the exit z. For a vertical ray the Plücker permuted
-// inner product against an edge reduces to the 2D orientation of xi
-// against the projected edge, so each of the six shared edges costs a
+// the tetrahedron, and the exit z, gathering the vertices through the
+// triangulation's native layout. The march itself uses exitVerticalVerts
+// on pre-flattened SoA vertices; both share one arithmetic core.
+func exitVertical(tt *delaunay.Tet, pts []geom.Vec3, xi geom.Vec2) (face int, zExit float64, ok bool) {
+	var v [4]geom.Vec3
+	for i := 0; i < 4; i++ {
+		v[i] = pts[tt.V[i]]
+	}
+	return exitVerticalVerts(&v, xi)
+}
+
+// exitVerticalVerts is the exit-face core. For a vertical ray the Plücker
+// permuted inner product against an edge reduces to the 2D orientation of
+// xi against the projected edge, so each of the six shared edges costs a
 // handful of flops.
 //
 // Zero products (the line meets an edge or vertex exactly) are resolved
@@ -296,13 +421,9 @@ var (
 // ok=false is returned only when even the symbolic sign is undefined (an
 // edge whose projection collapses to a point — a vertical edge through
 // xi, or a facet coplanar with the ray); callers then perturb for real.
-func exitVertical(tt *delaunay.Tet, pts []geom.Vec3, xi geom.Vec2) (face int, zExit float64, ok bool) {
+func exitVerticalVerts(v *[4]geom.Vec3, xi geom.Vec2) (face int, zExit float64, ok bool) {
 	var s [6]float64
 	var sg [6]int
-	var v [4]geom.Vec3
-	for i := 0; i < 4; i++ {
-		v[i] = pts[tt.V[i]]
-	}
 	for e := 0; e < 6; e++ {
 		a := v[edgeSlots[e][0]]
 		b := v[edgeSlots[e][1]]

@@ -188,17 +188,20 @@ const (
 
 // forEachRow runs fn(worker, j) over all row indices j with the given
 // schedule and returns per-worker stats (Busy filled; Cells/Steps are
-// accumulated by fn via the returned slice).
+// accumulated by fn via the returned slice). Every stats entry carries its
+// worker id, including workers whose row share came up empty.
 func forEachRow(ny, workers int, sched Schedule, fn func(worker, j int, st *WorkerStat)) []WorkerStat {
 	if workers <= 0 {
 		workers = 1
 	}
 	stats := make([]WorkerStat, workers)
+	for w := range stats {
+		stats[w].Worker = w
+	}
 	if sched == ScheduleStaticSerial || sched == ScheduleInterleavedSerial {
 		chunk := (ny + workers - 1) / workers
 		for w := 0; w < workers; w++ {
 			st := &stats[w]
-			st.Worker = w
 			start := time.Now()
 			if sched == ScheduleStaticSerial {
 				lo := w * chunk
@@ -229,7 +232,6 @@ func forEachRow(ny, workers int, sched Schedule, fn func(worker, j int, st *Work
 			go func(w, lo, hi int) {
 				defer wg.Done()
 				st := &stats[w]
-				st.Worker = w
 				start := time.Now()
 				for j := lo; j < hi; j++ {
 					fn(w, j, st)
@@ -244,7 +246,6 @@ func forEachRow(ny, workers int, sched Schedule, fn func(worker, j int, st *Work
 			go func(w int) {
 				defer wg.Done()
 				st := &stats[w]
-				st.Worker = w
 				start := time.Now()
 				for {
 					j := int(next.Add(1)) - 1
@@ -259,13 +260,6 @@ func forEachRow(ny, workers int, sched Schedule, fn func(worker, j int, st *Work
 	}
 	wg.Wait()
 	return stats
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // TotalBusy sums worker busy times (a proxy for total work under

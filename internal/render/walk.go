@@ -43,6 +43,7 @@ func (w *Walker) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, [
 	}
 	stats := forEachRow(spec.Ny, workers, sched, func(wk, j int, st *WorkerStat) {
 		seed := delaunay.NoTet
+		rng := splitmix64(uint64(wk)+1) | 1 // private walk stream: no shared-state races
 		for i := 0; i < spec.Nx; i++ {
 			var acc float64
 			for s := 0; s < samples; s++ {
@@ -51,7 +52,7 @@ func (w *Walker) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, [
 					xi.X += (jitter(spec.Seed, i, j, s, 0) - 0.5) * spec.Cell
 					xi.Y += (jitter(spec.Seed, i, j, s, 1) - 0.5) * spec.Cell
 				}
-				sigma, n, last, err := w.Column(xi, zmin, zmax, spec.Nz, seed)
+				sigma, n, last, err := w.column(xi, zmin, zmax, spec.Nz, seed, &rng)
 				seed = last
 				acc += sigma
 				st.Steps += int64(n)
@@ -88,6 +89,7 @@ func (w *Walker) Render3D(spec Spec, workers int, sched Schedule) (*grid.Grid3D,
 		geom.Vec3{X: spec.Min.X, Y: spec.Min.Y, Z: zmin}, spec.Cell)
 	stats := forEachRow(spec.Ny, workers, sched, func(wk, j int, st *WorkerStat) {
 		seed := delaunay.NoTet
+		rng := splitmix64(uint64(wk)+1) | 1 // private walk stream: no shared-state races
 		for i := 0; i < spec.Nx; i++ {
 			xi := geom.Vec2{
 				X: spec.Min.X + (float64(i)+0.5)*spec.Cell,
@@ -95,7 +97,7 @@ func (w *Walker) Render3D(spec Spec, workers int, sched Schedule) (*grid.Grid3D,
 			}
 			cur := seed
 			if cur == delaunay.NoTet {
-				c, err := w.F.Tri.Locate(geom.Vec3{X: xi.X, Y: xi.Y, Z: zmin})
+				c, _, err := w.F.Tri.LocateSeeded(delaunay.NoTet, geom.Vec3{X: xi.X, Y: xi.Y, Z: zmin}, &rng)
 				if err != nil {
 					st.Columns.Note(ColumnAbandoned)
 					st.Cells++
@@ -106,7 +108,7 @@ func (w *Walker) Render3D(spec Spec, workers int, sched Schedule) (*grid.Grid3D,
 			bad := false
 			for k := 0; k < spec.Nz; k++ {
 				p := geom.Vec3{X: xi.X, Y: xi.Y, Z: zmin + (float64(k)+0.5)*dz}
-				ti, n, err := w.F.Tri.LocateFromCount(cur, p)
+				ti, n, err := w.F.Tri.LocateSeeded(cur, p, &rng)
 				st.Steps += int64(n)
 				if err != nil {
 					// A diverged walk poisons the seed chain; abandon the
@@ -141,12 +143,25 @@ func (w *Walker) Render3D(spec Spec, workers int, sched Schedule) (*grid.Grid3D,
 // (non-finite query or diverged walk); the returned Σ is then the partial
 // sum up to the failing sample and the seed is NoTet.
 func (w *Walker) Column(xi geom.Vec2, zmin, zmax float64, nz int, seed int32) (float64, int, int32, error) {
+	return w.column(xi, zmin, zmax, nz, seed, nil)
+}
+
+// column is Column with an optional caller-owned walk rng (Render's
+// per-worker stream). With rng == nil it draws from the triangulation's
+// internal stream, which is fine single-threaded but races concurrently.
+func (w *Walker) column(xi geom.Vec2, zmin, zmax float64, nz int, seed int32, rng *uint64) (float64, int, int32, error) {
+	locate := func(start int32, p geom.Vec3) (int32, int, error) {
+		if rng != nil {
+			return w.F.Tri.LocateSeeded(start, p, rng)
+		}
+		return w.F.Tri.LocateFromCount(start, p)
+	}
 	dz := (zmax - zmin) / float64(nz)
 	var sigma float64
 	steps := 0
 	cur := seed
 	if cur == delaunay.NoTet {
-		c, err := w.F.Tri.Locate(geom.Vec3{X: xi.X, Y: xi.Y, Z: zmin}) // any start
+		c, _, err := locate(delaunay.NoTet, geom.Vec3{X: xi.X, Y: xi.Y, Z: zmin}) // any start
 		if err != nil {
 			return 0, 0, delaunay.NoTet, err
 		}
@@ -155,7 +170,7 @@ func (w *Walker) Column(xi geom.Vec2, zmin, zmax float64, nz int, seed int32) (f
 	last := cur
 	for k := 0; k < nz; k++ {
 		p := geom.Vec3{X: xi.X, Y: xi.Y, Z: zmin + (float64(k)+0.5)*dz}
-		ti, n, err := w.F.Tri.LocateFromCount(cur, p)
+		ti, n, err := locate(cur, p)
 		steps += n
 		if err != nil {
 			return sigma, steps, delaunay.NoTet, err
