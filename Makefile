@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race bench bench-smoke fuzz nopanic ci
+.PHONY: build test tier1 vet race bench bench-smoke bench-predicates fuzz nopanic ci
 
 build:
 	$(GO) build ./...
@@ -16,20 +16,28 @@ vet:
 
 # Concurrency-sensitive packages (the MPI runtime, the fault-tolerant
 # pipeline executor with its chaos tests, the parallel render workers,
-# and concurrent point location) under the race detector.
+# concurrent point location, and the shared predicate counters/oracle
+# switch in geom) under the race detector.
 race:
-	$(GO) test -race ./internal/mpi/... ./internal/pipeline/... ./internal/render/... ./internal/delaunay/...
+	$(GO) test -race ./internal/mpi/... ./internal/pipeline/... ./internal/render/... ./internal/delaunay/... ./internal/geom/...
 
-# Regression benchmarks: run the kernel/entry/codec suite and write
-# BENCH_PR3.json with ns/op, allocs/op, and speedup ratios against the
-# checked-in pre-optimization baseline in bench/baseline_pr3.json.
+# Regression benchmarks: run the kernel/entry/codec/build/predicate suite
+# and write BENCH_PR4.json with ns/op, allocs/op, and speedup ratios
+# against the checked-in pre-optimization baseline in
+# bench/baseline_pr4.json.
 bench:
-	$(GO) run ./cmd/dtfe-bench -out BENCH_PR3.json -baseline bench/baseline_pr3.json
+	$(GO) run ./cmd/dtfe-bench -out BENCH_PR4.json -baseline bench/baseline_pr4.json
+
+# Forced-exact predicate microbenchmarks only: the quickest check that a
+# predicates change kept the fallback path fast and allocation-free.
+bench-predicates:
+	$(GO) test -run '^$$' -bench BenchmarkPredicateFallback -benchmem ./internal/geom/
 
 # One-iteration smoke over every benchmark in the tree: catches bit-rot
-# in benchmark code without paying for stable timings.
+# in benchmark code without paying for stable timings. -short skips the
+# 100k Delaunay builds, which take minutes even for one iteration.
 bench-smoke:
-	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) test -short -run xxx -bench . -benchtime 1x ./...
 
 # Fuzz smoke: a short budget per target keeps CI fast while still
 # exercising the mutation engine against the typed-error contracts.
@@ -37,6 +45,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParticleIO -fuzztime 10s ./internal/particleio/
 	$(GO) test -run '^$$' -fuzz FuzzDelaunayInsert -fuzztime 10s ./internal/delaunay/
 	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime 10s ./internal/mpi/
+	$(GO) test -run '^$$' -fuzz FuzzPredicatesExact -fuzztime 10s ./internal/geom/
 
 # The hardened layers (geometry, ingestion, render) must stay panic-free:
 # every failure goes through the geomerr taxonomy instead.

@@ -7,9 +7,10 @@
 // convex-hull facet is shared with an infinite tetrahedron, so every face of
 // every tetrahedron always has a neighbor and the marching/walking kernels
 // never need nil checks. Geometric predicates come from internal/geom and are
-// exact (filtered float64 with a big.Rat fallback), so construction is robust
-// for degenerate inputs: duplicates are detected and mapped, grid-aligned and
-// cospherical point sets are handled deterministically.
+// exact (filtered float64 with an allocation-free adaptive expansion
+// fallback), so construction is robust for degenerate inputs: duplicates are
+// detected and mapped, grid-aligned and cospherical point sets are handled
+// deterministically.
 package delaunay
 
 import (
@@ -72,13 +73,22 @@ type Triangulation struct {
 
 	last int32 // walk start hint
 
-	// scratch state reused across insertions
-	mark     []int32
-	epoch    int32
-	cavity   []int32
-	border   []borderFace
-	edgeLink map[uint64]faceRef
-	rng      uint64
+	// scratch state reused across insertions (no steady-state allocation
+	// in the insert loop: the flood-fill stack, the cavity/border lists,
+	// the flat face-matching table, and the per-insertion conflict memo
+	// all keep their backing arrays across insertions)
+	mark    []int32
+	epoch   int32
+	cavity  []int32
+	border  []borderFace
+	stack   []int32
+	faceTab flatFaceTable
+	// conflict memo: conflicts(ti, p) is evaluated at most once per
+	// (tet, insertion) — findConflictSeed and the cavity flood fill would
+	// otherwise re-test border tets once per adjacent cavity face.
+	cmark []int32
+	cval  []bool
+	rng   uint64
 
 	insertedCount int
 }
@@ -127,11 +137,10 @@ func build(pts []geom.Vec3, morton bool) (*Triangulation, error) {
 		}
 	}
 	t := &Triangulation{
-		pts:      pts,
-		vertTet:  make([]int32, len(pts)),
-		dupOf:    make([]int32, len(pts)),
-		edgeLink: make(map[uint64]faceRef, 64),
-		rng:      0x9e3779b97f4a7c15,
+		pts:     pts,
+		vertTet: make([]int32, len(pts)),
+		dupOf:   make([]int32, len(pts)),
+		rng:     0x9e3779b97f4a7c15,
 	}
 	for i := range t.dupOf {
 		t.dupOf[i] = int32(i)
@@ -287,6 +296,8 @@ func (t *Triangulation) newTet(tet Tet) int32 {
 	t.tets = append(t.tets, tet)
 	t.dead = append(t.dead, false)
 	t.mark = append(t.mark, 0)
+	t.cmark = append(t.cmark, 0)
+	t.cval = append(t.cval, false)
 	return int32(len(t.tets) - 1)
 }
 

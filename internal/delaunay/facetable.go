@@ -1,0 +1,70 @@
+package delaunay
+
+// flatFaceTable is a reusable open-addressing hash table mapping internal
+// cavity-face keys (edgeKey pairs) to the tet/face waiting for its mate.
+// It replaces the Go map previously used in fillCavity: one insertion per
+// point used to clear and re-grow the map's buckets; the flat table is
+// reset in O(1) by bumping an epoch and reuses its backing arrays across
+// every insertion of a build, so the fill loop performs zero allocations
+// in steady state.
+//
+// Matching is exact (full keys are compared), so replacing the map cannot
+// change which faces pair up: the triangulation produced is byte-identical.
+type flatFaceTable struct {
+	keys []uint64
+	vals []faceRef
+	// meta[i] == epoch<<1 marks a live entry, epoch<<1|1 a tombstone;
+	// any other value is an empty slot left over from an earlier epoch.
+	meta  []uint64
+	epoch uint64
+	mask  uint64
+	live  int
+}
+
+// reset prepares the table for up to n insertions without growing
+// mid-fill (the caller knows the bound: three internal faces per new tet).
+func (ft *flatFaceTable) reset(n int) {
+	need := 2 * n
+	if need < 16 {
+		need = 16
+	}
+	if len(ft.keys) < need {
+		sz := 16
+		for sz < need {
+			sz <<= 1
+		}
+		ft.keys = make([]uint64, sz)
+		ft.vals = make([]faceRef, sz)
+		ft.meta = make([]uint64, sz)
+		ft.epoch = 0
+		ft.mask = uint64(sz - 1)
+	}
+	ft.epoch++
+	ft.live = 0
+}
+
+// takeOrInsert removes and returns the entry for key if one is live, and
+// otherwise inserts key → ref. Each cavity face key appears exactly twice
+// (once from each of the two new tets sharing it), so the first call
+// parks the reference and the second retrieves it; tombstones keep probe
+// chains intact within the epoch.
+func (ft *flatFaceTable) takeOrInsert(key uint64, ref faceRef) (faceRef, bool) {
+	liveTag := ft.epoch << 1
+	i := (key * 0x9e3779b97f4a7c15) >> 32 & ft.mask
+	for {
+		m := ft.meta[i]
+		if m>>1 != ft.epoch {
+			ft.meta[i] = liveTag
+			ft.keys[i] = key
+			ft.vals[i] = ref
+			ft.live++
+			return faceRef{}, false
+		}
+		if m == liveTag && ft.keys[i] == key {
+			ft.meta[i] = liveTag | 1
+			ft.live--
+			return ft.vals[i], true
+		}
+		i = (i + 1) & ft.mask
+	}
+}

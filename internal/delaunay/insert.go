@@ -144,7 +144,9 @@ func (t *Triangulation) conflicts(ti int32, p geom.Vec3) (bool, error) {
 		if o > 0 {
 			return false, nil
 		}
-		return t.conflicts(tt.N[s], p) // finite neighbor shares the disk
+		// Finite neighbor shares the disk; the cached wrapper lets the
+		// delegated result be reused when that neighbor is tested directly.
+		return t.conflictsCached(tt.N[s], p)
 	}
 	pa, pb, pc, pd := t.pts[tt.V[0]], t.pts[tt.V[1]], t.pts[tt.V[2]], t.pts[tt.V[3]]
 	if s := geom.InSphere(pa, pb, pc, pd, p); s != 0 {
@@ -157,6 +159,24 @@ func (t *Triangulation) conflicts(ti int32, p geom.Vec3) (bool, error) {
 	return s > 0, nil
 }
 
+// conflictsCached memoizes conflicts per (tet, insertion): the epoch is
+// bumped once per insert, so within one insertion each tet's conflict
+// status is computed at most once, however many cavity faces it borders.
+// The memo changes evaluation counts only, never results — the predicates
+// are exact and deterministic — so the build output is byte-identical.
+func (t *Triangulation) conflictsCached(ti int32, p geom.Vec3) (bool, error) {
+	if t.cmark[ti] == t.epoch {
+		return t.cval[ti], nil
+	}
+	c, err := t.conflicts(ti, p)
+	if err != nil {
+		return false, err
+	}
+	t.cmark[ti] = t.epoch
+	t.cval[ti] = c
+	return c, nil
+}
+
 // insert adds vertex v to the triangulation. Exact duplicates are recorded
 // in dupOf and skipped. A non-nil error reports either degenerate input
 // the symbolic perturbation could not absorb (geomerr.ErrDegenerateInput)
@@ -164,6 +184,10 @@ func (t *Triangulation) conflicts(ti int32, p geom.Vec3) (bool, error) {
 // the triangulation must be discarded.
 func (t *Triangulation) insert(v int32) error {
 	p := t.pts[v]
+	// One epoch per insertion: it scopes both the cavity marks and the
+	// conflict memo, so findConflictSeed's evaluations are reused by the
+	// cavity flood fill.
+	t.epoch++
 	loc, err := t.LocateFrom(t.last, p)
 	if err != nil {
 		return err
@@ -202,7 +226,7 @@ func (t *Triangulation) insert(v int32) error {
 // findConflictSeed returns a tet in conflict with p, searching outward from
 // loc (which should contain p in its closure).
 func (t *Triangulation) findConflictSeed(loc int32, p geom.Vec3) (int32, error) {
-	if c, err := t.conflicts(loc, p); err != nil {
+	if c, err := t.conflictsCached(loc, p); err != nil {
 		return NoTet, err
 	} else if c {
 		return loc, nil
@@ -213,7 +237,7 @@ func (t *Triangulation) findConflictSeed(loc int32, p geom.Vec3) (int32, error) 
 		if n == NoTet || t.dead[n] {
 			continue
 		}
-		if c, err := t.conflicts(n, p); err != nil {
+		if c, err := t.conflictsCached(n, p); err != nil {
 			return NoTet, err
 		} else if c {
 			return n, nil
@@ -227,7 +251,7 @@ func (t *Triangulation) findConflictSeed(loc int32, p geom.Vec3) (int32, error) 
 			if m == NoTet || t.dead[m] {
 				continue
 			}
-			if c, err := t.conflicts(m, p); err != nil {
+			if c, err := t.conflictsCached(m, p); err != nil {
 				return NoTet, err
 			} else if c {
 				return m, nil
@@ -240,12 +264,15 @@ func (t *Triangulation) findConflictSeed(loc int32, p geom.Vec3) (int32, error) 
 // carveCavity flood-fills the conflict region from seed, recording cavity
 // tets and the outward-oriented boundary faces.
 func (t *Triangulation) carveCavity(seed int32, p geom.Vec3) error {
-	t.epoch++
+	// The epoch was bumped by insert(); the flood-fill stack keeps its
+	// backing array on the Triangulation across insertions.
 	t.cavity = t.cavity[:0]
 	t.border = t.border[:0]
+	stack := t.stack[:0]
+	defer func() { t.stack = stack[:0] }()
 
 	t.mark[seed] = t.epoch
-	stack := []int32{seed}
+	stack = append(stack, seed)
 	t.cavity = append(t.cavity, seed)
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
@@ -256,7 +283,7 @@ func (t *Triangulation) carveCavity(seed int32, p geom.Vec3) error {
 			if t.mark[n] == t.epoch {
 				continue
 			}
-			c, err := t.conflicts(n, p)
+			c, err := t.conflictsCached(n, p)
 			if err != nil {
 				return err
 			}
@@ -295,7 +322,9 @@ func (t *Triangulation) fillCavity(v int32) error {
 	for _, ti := range t.cavity {
 		t.killTet(ti)
 	}
-	clear(t.edgeLink)
+	// Three internal faces per new tet bounds the table load; reset is
+	// O(1) (epoch bump) once the backing arrays have grown.
+	t.faceTab.reset(3 * len(t.border))
 	var lastNew int32 = NoTet
 	for _, bf := range t.border {
 		nt := t.newTet(Tet{V: [4]int32{v, bf.w[0], bf.w[1], bf.w[2]}})
@@ -316,12 +345,9 @@ func (t *Triangulation) fillCavity(v int32) error {
 				x, y = bf.w[0], bf.w[1]
 			}
 			key := edgeKey(x, y)
-			if prev, ok := t.edgeLink[key]; ok {
+			if prev, ok := t.faceTab.takeOrInsert(key, faceRef{tet: nt, face: int32(k)}); ok {
 				t.tets[nt].N[k] = prev.tet
 				t.tets[prev.tet].N[prev.face] = nt
-				delete(t.edgeLink, key)
-			} else {
-				t.edgeLink[key] = faceRef{tet: nt, face: int32(k)}
 			}
 		}
 		for _, u := range t.tets[nt].V {
@@ -330,8 +356,8 @@ func (t *Triangulation) fillCavity(v int32) error {
 			}
 		}
 	}
-	if len(t.edgeLink) != 0 {
-		return geomerr.Corrupt("delaunay.insert", "cavity retriangulation left %d unmatched faces", len(t.edgeLink))
+	if t.faceTab.live != 0 {
+		return geomerr.Corrupt("delaunay.insert", "cavity retriangulation left %d unmatched faces", t.faceTab.live)
 	}
 	t.last = lastNew
 	return nil

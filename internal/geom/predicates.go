@@ -8,9 +8,19 @@ import (
 
 // The predicates below follow the usual filtered-exact design: a fast
 // float64 evaluation with a conservative forward error bound; when the
-// result magnitude falls under the bound the determinant is recomputed
-// exactly with math/big rationals (float64 inputs convert to big.Rat
-// exactly, so the fallback is fully exact, not merely higher precision).
+// result magnitude falls under the bound the sign is resolved by the
+// staged adaptive expansion tiers in adaptive.go (allocation-free, exact).
+// The original math/big rational evaluations are retained, unexported, as
+// the differential-test oracle: float64 inputs convert to big.Rat exactly,
+// so the oracle is fully exact and the expansion tiers must agree with it
+// bit-for-bit on every input (enforced by FuzzPredicatesExact and the
+// byte-identical render regression tests).
+//
+// Inputs must be finite, and coordinate products must stay inside the
+// normal float64 range (no overflow, no gradual underflow) — Shewchuk's
+// usual exponent-range caveat. Both hold for every production call site:
+// ingestion rejects non-finite coordinates and catalogs are box-normalized
+// before tessellation.
 //
 // Sign conventions (pinned by unit tests):
 //
@@ -22,9 +32,24 @@ import (
 //	InCircle(a,b,c,d) > 0  ⇔ d strictly inside the circumcircle of the
 //	                         counterclockwise triangle (a,b,c).
 
-// ExactCalls counts how many predicate evaluations fell through to the
-// exact big.Rat path; exposed for the ablation benchmarks.
+// ExactCalls counts how many predicate evaluations fell through the
+// static filter to an exact path (adaptive or oracle); exposed for the
+// ablation benchmarks.
 var ExactCalls atomic.Uint64
+
+// oracleExact routes filter misses to the retained big.Rat oracle instead
+// of the adaptive expansion tiers. Used by the differential and
+// byte-identical regression tests; read with atomic.Bool so concurrent
+// render walkers see a consistent value.
+var oracleExact atomic.Bool
+
+// SetOracleFallback toggles the big.Rat oracle fallback for all four
+// predicates and returns the previous setting. Test-only knob: the oracle
+// and the adaptive tiers return identical signs on every input, so this
+// changes performance (and allocation behavior), never results.
+func SetOracleFallback(on bool) (prev bool) {
+	return oracleExact.Swap(on)
+}
 
 // epsilon for the static filters; see Shewchuk (1997) for the style of
 // bound. We use simple, slightly conservative constants.
@@ -46,11 +71,14 @@ func Orient2D(a, b, c Vec2) int {
 	if math.Abs(det) > o2dErrBound*sum {
 		return sgn(det)
 	}
-	return orient2DExact(a, b, c)
+	ExactCalls.Add(1)
+	if oracleExact.Load() {
+		return orient2DExact(a, b, c)
+	}
+	return orient2DAdapt(a, b, c, sum)
 }
 
 func orient2DExact(a, b, c Vec2) int {
-	ExactCalls.Add(1)
 	ax, ay := rat(a.X), rat(a.Y)
 	bx, by := rat(b.X), rat(b.Y)
 	cx, cy := rat(c.X), rat(c.Y)
@@ -87,11 +115,14 @@ func Orient3D(a, b, c, d Vec3) int {
 	if math.Abs(det) > o3dErrBound*permanent {
 		return -sgn(det)
 	}
-	return orient3DExact(a, b, c, d)
+	ExactCalls.Add(1)
+	if oracleExact.Load() {
+		return orient3DExact(a, b, c, d)
+	}
+	return orient3DAdapt(a, b, c, d, permanent)
 }
 
 func orient3DExact(a, b, c, d Vec3) int {
-	ExactCalls.Add(1)
 	m := [3][3]*big.Rat{
 		{ratSub(b.X, a.X), ratSub(b.Y, a.Y), ratSub(b.Z, a.Z)},
 		{ratSub(c.X, a.X), ratSub(c.Y, a.Y), ratSub(c.Z, a.Z)},
@@ -168,11 +199,14 @@ func InSphere(a, b, c, d, e Vec3) int {
 	if math.Abs(det) > isErrBound*permanent {
 		return -sgn(det)
 	}
-	return inSphereExact(a, b, c, d, e)
+	ExactCalls.Add(1)
+	if oracleExact.Load() {
+		return inSphereExact(a, b, c, d, e)
+	}
+	return inSphereAdapt(a, b, c, d, e, permanent)
 }
 
 func inSphereExact(a, b, c, d, e Vec3) int {
-	ExactCalls.Add(1)
 	rows := [4]Vec3{a, b, c, d}
 	var m [4][4]*big.Rat
 	for i, p := range rows {
@@ -218,11 +252,14 @@ func InCircle(a, b, c, d Vec2) int {
 	if math.Abs(det) > icErrBound*permanent {
 		return sgn(det)
 	}
-	return inCircleExact(a, b, c, d)
+	ExactCalls.Add(1)
+	if oracleExact.Load() {
+		return inCircleExact(a, b, c, d)
+	}
+	return inCircleAdapt(a, b, c, d, permanent)
 }
 
 func inCircleExact(a, b, c, d Vec2) int {
-	ExactCalls.Add(1)
 	rows := [3]Vec2{a, b, c}
 	var m [3][3]*big.Rat
 	for i, p := range rows {

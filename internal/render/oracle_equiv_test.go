@@ -1,0 +1,88 @@
+package render
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/geom"
+)
+
+// TestAdaptivePredicatesByteIdentical is the end-to-end gate for the
+// adaptive predicate tiers: building and rendering every equivalence
+// catalog must produce the same finite-tet set and a byte-identical
+// output grid whether the exact fallback runs through the expansion
+// tiers (production path) or the retained big.Rat oracle. Any divergence
+// means an adaptive tier returned a wrong sign somewhere in the build.
+func TestAdaptivePredicatesByteIdentical(t *testing.T) {
+	for name, pts := range equivCatalogs() {
+		t.Run(name, func(t *testing.T) {
+			prev := geom.SetOracleFallback(true)
+			oracleTets, oracleGrid, oraclePGM := renderFingerprint(t, pts)
+			geom.SetOracleFallback(prev)
+			adaptTets, adaptGrid, adaptPGM := renderFingerprint(t, pts)
+			if adaptTets != oracleTets {
+				t.Errorf("finite-tet set diverges from oracle predicates: %x != %x", adaptTets, oracleTets)
+			}
+			if adaptGrid != oracleGrid {
+				t.Errorf("grid values diverge from oracle predicates: %x != %x", adaptGrid, oracleGrid)
+			}
+			if adaptPGM != oraclePGM {
+				t.Errorf("rendered PGM diverges from oracle predicates: %x != %x", adaptPGM, oraclePGM)
+			}
+		})
+	}
+}
+
+// renderFingerprint builds the triangulation and renders the catalog under
+// whichever predicate backend is currently selected, returning hashes of
+// the sorted finite-tet vertex quadruples, the raw grid cell bits, and the
+// serialized PGM byte stream.
+func renderFingerprint(t *testing.T, pts []geom.Vec3) (tetHash, gridHash, pgmHash [32]byte) {
+	t.Helper()
+	f := fieldFor(t, pts)
+
+	var quads [][4]int32
+	f.Tri.ForEachFiniteTet(func(ti int32, tet *delaunay.Tet) {
+		q := tet.V
+		sort.Slice(q[:], func(i, j int) bool { return q[i] < q[j] })
+		quads = append(quads, q)
+	})
+	sort.Slice(quads, func(i, j int) bool {
+		for k := 0; k < 4; k++ {
+			if quads[i][k] != quads[j][k] {
+				return quads[i][k] < quads[j][k]
+			}
+		}
+		return false
+	})
+	th := sha256.New()
+	for _, q := range quads {
+		binary.Write(th, binary.LittleEndian, q[:])
+	}
+	th.Sum(tetHash[:0])
+
+	m := NewMarcher(f)
+	g, _, err := m.Render(equivSpec(pts), 1, ScheduleDynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh := sha256.New()
+	var word [8]byte
+	for _, v := range g.Data {
+		binary.LittleEndian.PutUint64(word[:], math.Float64bits(v))
+		gh.Write(word[:])
+	}
+	gh.Sum(gridHash[:0])
+
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	pgmHash = sha256.Sum256(buf.Bytes())
+	return tetHash, gridHash, pgmHash
+}
