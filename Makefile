@@ -21,12 +21,13 @@ vet:
 race:
 	$(GO) test -race ./internal/mpi/... ./internal/pipeline/... ./internal/render/... ./internal/delaunay/... ./internal/geom/...
 
-# Regression benchmarks: run the kernel/entry/codec/build/predicate suite
-# and write BENCH_PR4.json with ns/op, allocs/op, and speedup ratios
+# Regression benchmarks: run the kernel/entry/codec/build/predicate/
+# distributed-render suite
+# and write BENCH_PR5.json with ns/op, allocs/op, and speedup ratios
 # against the checked-in pre-optimization baseline in
-# bench/baseline_pr4.json.
+# bench/baseline_pr5.json.
 bench:
-	$(GO) run ./cmd/dtfe-bench -out BENCH_PR4.json -baseline bench/baseline_pr4.json
+	$(GO) run ./cmd/dtfe-bench -out BENCH_PR5.json -baseline bench/baseline_pr5.json
 
 # Forced-exact predicate microbenchmarks only: the quickest check that a
 # predicates change kept the fallback path fast and allocation-free.

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	dtfe-render -i particles.dtfe -grid 512 -kernel marching -o sigma.pgm
+//
+// With -ranks > 1 the marching kernel runs the distributed fan-out over an
+// in-process MPI world: the grid is cut into cost-balanced column tiles
+// (-tiles), scattered over the ranks, marched, and gathered bit-identically
+// to the single-rank render. -halo > 0 switches from full catalog
+// replication to halo-padded particle subsets with guard-column
+// verification.
 package main
 
 import (
@@ -19,8 +26,10 @@ import (
 	"godtfe/internal/dtfe"
 	"godtfe/internal/geom"
 	"godtfe/internal/grid"
+	"godtfe/internal/mpi"
 	"godtfe/internal/particleio"
 	"godtfe/internal/render"
+	"godtfe/internal/render/distrender"
 )
 
 func main() {
@@ -32,6 +41,9 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "render workers")
 	out := flag.String("o", "sigma.pgm", "output PGM path")
 	ingest := flag.String("ingest", "fail", "invalid-particle policy: fail | drop | clamp")
+	ranks := flag.Int("ranks", 1, "simulated MPI ranks for the distributed marching render")
+	tiles := flag.Int("tiles", 0, "column tiles for -ranks > 1 (default: 2x ranks, cost-balanced)")
+	halo := flag.Float64("halo", 0, "subset halo width for -ranks > 1 (0: replicate the catalog)")
 	flag.Parse()
 
 	policy, err := particleio.ParsePolicy(*ingest)
@@ -79,6 +91,10 @@ func main() {
 	t1 := time.Now()
 	switch *kernel {
 	case "marching":
+		if *ranks > 1 {
+			g, stats, err = distributedRender(spec, pts, *ranks, *tiles, *workers, *halo)
+			break
+		}
 		g, stats, err = render.NewMarcher(field).Render(spec, *workers, render.ScheduleDynamic)
 	case "walking":
 		g, stats, err = render.NewWalker(field).Render(spec, *workers, render.ScheduleDynamic)
@@ -113,4 +129,37 @@ func main() {
 		log.Fatalf("pgm: %v", err)
 	}
 	fmt.Printf("wrote %s (%dx%d)\n", *out, g.Nx, g.Ny)
+}
+
+// distributedRender fans the marching render out over an in-process MPI
+// world and returns the stitched grid with globally re-based worker stats.
+func distributedRender(spec render.Spec, pts []geom.Vec3, ranks, tiles, workers int, halo float64) (*grid.Grid2D, []render.WorkerStat, error) {
+	cfg := distrender.Config{
+		Spec: spec, Tiles: tiles, Workers: workers, Halo: halo,
+	}
+	var res *distrender.Result
+	var resErr error
+	w := mpi.NewWorld(ranks)
+	errs := w.RunEach(func(c *mpi.Comm) error {
+		catalog := pts
+		if c.Rank() != 0 {
+			catalog = nil
+		}
+		r, err := distrender.Run(c, cfg, catalog)
+		if c.Rank() == 0 {
+			res, resErr = r, err
+		}
+		return err
+	})
+	if resErr != nil {
+		return nil, nil, resErr
+	}
+	for r, e := range errs {
+		if e != nil {
+			return nil, nil, fmt.Errorf("rank %d: %w", r, e)
+		}
+	}
+	fmt.Printf("distributed: %d ranks, %d tiles, %d re-dispatched\n",
+		ranks, len(res.Tiles), res.Redispatched)
+	return res.Grid, res.Stats, nil
 }

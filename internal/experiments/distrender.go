@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"time"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/dtfe"
+	"godtfe/internal/geom"
+	"godtfe/internal/render"
+	"godtfe/internal/render/distrender"
+	"godtfe/internal/synth"
+	"godtfe/internal/vtime"
+)
+
+// distRenderRanks is the strong-scaling sweep; the top counts match the
+// paper's Section V cluster sizes (Fig 13).
+var distRenderRanks = []int{1, 16, 64, 256, 1024, 4096, 16384}
+
+// DistRender evaluates the distributed single-grid render's strong
+// scaling: a real (small) render of a clustered catalog calibrates the
+// per-column marching cost and the triangulation setup cost, a
+// cost-balanced tiling of a large virtual grid is cut with the production
+// tiler (distrender.MakeTiles), and the virtual-time simulator plays the
+// coordinator/worker protocol at up to 16k ranks. The curve saturates
+// where the coordinator's serial per-tile protocol cost overtakes the
+// shrinking per-rank marching share — the honest ceiling of a
+// single-coordinator gather.
+func DistRender(opt Options) (*Report, error) {
+	opt = opt.fill()
+	start := time.Now()
+	r := &Report{ID: "distrender", Title: "distributed render fan-out: strong scaling to 16k ranks"}
+
+	// Calibrate on a real render.
+	box := geom.AABB{Min: geom.Vec3{}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	n := opt.scaled(20000)
+	pts := synth.HaloSet(n, box, synth.DefaultHaloSpec(), opt.Seed+41)
+
+	buildStart := time.Now()
+	tri, err := delaunay.New(pts)
+	if err != nil {
+		return nil, err
+	}
+	f, err := dtfe.NewField(tri, nil)
+	if err != nil {
+		return nil, err
+	}
+	m := render.NewMarcher(f)
+	setupCost := time.Since(buildStart).Seconds()
+
+	const calN = 96
+	spec := render.Spec{
+		Min: geom.Vec2{X: -0.02, Y: -0.02},
+		Nx:  calN, Ny: calN, Cell: 1.04 / calN,
+		Samples: 2, Seed: opt.Seed,
+	}
+	renderStart := time.Now()
+	if _, _, err := m.Render(spec, 1, render.ScheduleDynamic); err != nil {
+		return nil, err
+	}
+	perColumn := time.Since(renderStart).Seconds() / float64(calN*calN)
+
+	// The virtual workload: one large grid over the same catalog
+	// statistics. Tile costs come from the production tiler's
+	// cost-balanced boundaries and the calibrated per-column cost,
+	// weighted by each tile's particle share (clustered tiles march more
+	// tetrahedra per column).
+	bigN := opt.scaled(8192)
+	if bigN < 64 {
+		bigN = 64
+	}
+	bigSpec := spec
+	bigSpec.Nx, bigSpec.Ny = bigN, bigN
+	bigSpec.Cell = 1.04 / float64(bigN)
+
+	r.Rowf("%-7s %7s %12s %10s %10s %10s", "ranks", "tiles",
+		"makespan", "speedup", "eff", "coord-busy")
+	var base float64
+	for _, ranks := range distRenderRanks {
+		nt := 4 * ranks
+		if nt > bigN {
+			nt = bigN
+		}
+		tiles := distrender.MakeTiles(bigSpec, pts, nt, false, 0)
+		costs := make([]float64, len(tiles))
+		for i, t := range tiles {
+			costs[i] = perColumn * float64(t.Width()*bigN)
+		}
+		out := vtime.SimulateDistRender(vtime.DistRenderConfig{
+			Ranks:       ranks,
+			Comm:        commModel(),
+			TileCosts:   costs,
+			AssignBytes: 64,
+			ResultBytes: int64(bigN) * int64(bigN/len(tiles)+1) * 8,
+			SetupCost:   setupCost,
+			// Stitch ≈ copying the tile's cells at memory bandwidth plus
+			// decode overhead; the comm model's overhead term dominates.
+			StitchPerTile: commModel().SendOverhead,
+		})
+		if ranks == 1 {
+			base = out.Makespan
+		}
+		speedup := base / out.Makespan
+		r.Rowf("%-7d %7d %12.3f %10.1f %10.3f %10.3f", ranks, len(tiles),
+			out.Makespan, speedup, speedup/float64(ranks), out.CoordBusy)
+	}
+	r.Notef("calibration: %d particles, %.3g s/column, %.3g s setup; virtual grid %d^2",
+		n, perColumn, setupCost, bigN)
+	r.Notef("saturation is the single-coordinator gather serialization; beyond it, add a reduction tree")
+	r.Elapsed = time.Since(start)
+	return r, nil
+}

@@ -32,6 +32,9 @@ const (
 	PointPhase2 = "phase2"
 	PointPhase3 = "phase3"
 	PointPhase4 = "phase4"
+	// PointTile is consulted by the distributed renderer before each tile
+	// march; progress is the number of tiles the rank has completed.
+	PointTile = "tile"
 )
 
 // Crash kills one rank when it reaches a point with progress >= After.

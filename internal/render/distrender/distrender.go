@@ -1,0 +1,599 @@
+// Package distrender shards one render.Spec grid into column-block tiles
+// and fans them out over the internal/mpi runtime: rank 0 coordinates (it
+// owns the catalog, cuts cost-balanced tiles, scatters assignments,
+// gathers partial grids, and stitches one Result), the remaining ranks
+// march tiles with the shared-memory SoA kernel.
+//
+// Two decomposition modes:
+//
+//   - Replication (Halo <= 0, the default): the full catalog is broadcast
+//     once and every rank builds the same triangulation. The build is
+//     deterministic and column marching is independent, so the stitched
+//     grid is byte-identical to a single-rank render — the invariant the
+//     test suite pins. This is the paper's Section V shape (ghost-zone
+//     style replication of the input, decomposition of the output).
+//   - Halo subsets (Halo > 0): each tile ships only the particles within
+//     Halo of its column span and the worker triangulates the subset. A
+//     subset triangulation can diverge from the full one near its fringe,
+//     so each tile also renders Guard duplicate columns past its interior
+//     edges; at stitch time the coordinator cross-checks every duplicated
+//     column bit-for-bit and surfaces any disagreement as a typed
+//     geomerr.ErrHaloMismatch instead of silently stitching corruption.
+//
+// Failure handling reuses the PR 1 recovery concepts: assignments carry a
+// deadline; the coordinator polls with a tolerant AnySource receive,
+// re-queues the in-flight tiles of crashed ranks (mpi failure detection),
+// re-dispatches past-deadline tiles to idle ranks (straggler mitigation),
+// and — because tile renders are bit-exact — resolves duplicate results by
+// first-arrival. If every worker is lost the coordinator computes the
+// remainder itself unless the NoCoordinatorCompute test knob forbids it,
+// in which case the Result is flagged Incomplete with the lost tiles
+// enumerated.
+package distrender
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/dtfe"
+	"godtfe/internal/fault"
+	"godtfe/internal/geom"
+	"godtfe/internal/geomerr"
+	"godtfe/internal/grid"
+	"godtfe/internal/mpi"
+	"godtfe/internal/render"
+)
+
+// Config tunes one distributed render.
+type Config struct {
+	Spec render.Spec
+
+	// Tiles is the number of column-block tiles; 0 means 2× the world
+	// size (over-decomposition keeps re-dispatch granular and lets the
+	// work queue balance stragglers).
+	Tiles int
+	// EvenTiles forces equal-width tiles instead of cost-balanced ones.
+	EvenTiles bool
+	// CostBeta is the marching-cost exponent for tile balancing
+	// (DefaultCostBeta when 0).
+	CostBeta float64
+
+	// Workers is the shared-memory worker count each rank marches with
+	// (1 when 0) and Sched its row schedule.
+	Workers int
+	Sched   render.Schedule
+
+	// Halo <= 0 selects replication mode. Halo > 0 ships per-tile
+	// particle subsets within Halo of the tile's x-span and enables the
+	// guard-column cross-check.
+	Halo float64
+	// Guard is the number of duplicate boundary columns rendered per
+	// interior tile edge in subset mode (default 1).
+	Guard int
+
+	// Fault optionally injects crashes/stragglers/message faults
+	// (chaos tests). Crash point: fault.PointTile.
+	Fault *fault.Injector
+
+	// TileTimeout is the re-dispatch deadline per assignment (default
+	// 30s). Poll is the coordinator's gather poll tick (default 5ms).
+	TileTimeout time.Duration
+	Poll        time.Duration
+	// MaxSendRetries overrides the mpi send retry budget when > 0.
+	MaxSendRetries int
+
+	// NoCoordinatorCompute forbids rank 0 from marching tiles itself.
+	// Production leaves it false (the coordinator is the fallback of
+	// last resort); chaos tests set it to observe flagged-partial
+	// results when all workers die.
+	NoCoordinatorCompute bool
+}
+
+func (cfg *Config) tileTimeout() time.Duration {
+	if cfg.TileTimeout > 0 {
+		return cfg.TileTimeout
+	}
+	return 30 * time.Second
+}
+
+func (cfg *Config) poll() time.Duration {
+	if cfg.Poll > 0 {
+		return cfg.Poll
+	}
+	return 5 * time.Millisecond
+}
+
+func (cfg *Config) guard() int {
+	if cfg.Guard > 0 {
+		return cfg.Guard
+	}
+	return 1
+}
+
+// Result is the stitched output of a distributed render.
+type Result struct {
+	// Grid is the full stitched surface-density grid. Lost tiles (only
+	// possible when Incomplete) are left zero.
+	Grid *grid.Grid2D
+	// Stats are the gathered worker stats with globally re-based worker
+	// ids (rank r's local worker w becomes r*Workers+w).
+	Stats []render.WorkerStat
+	// Outcomes sums every marched column's outcome over owned columns
+	// (guard duplicates are excluded, so totals match a single-rank
+	// render exactly).
+	Outcomes render.OutcomeCounts
+
+	// Tiles is the tiling; TileRank[k] is the rank whose result for
+	// tile k was stitched (-1 if lost).
+	Tiles    []render.Tile
+	TileRank []int
+
+	// Redispatched counts re-queued assignments (crash or straggler
+	// deadline); Duplicates counts results discarded by first-wins.
+	Redispatched int
+	Duplicates   int
+
+	// Incomplete marks a partial result: Lost lists the tiles that were
+	// never computed and Failures the per-stage reasons.
+	Incomplete bool
+	Lost       []int
+	Failures   []string
+}
+
+// Run executes one distributed render on this rank. Rank 0 must pass the
+// catalog; other ranks' pts is ignored. Rank 0 returns the stitched
+// Result; workers return (nil, nil) after a clean shutdown. All ranks of
+// the communicator must call Run with an equivalent Config.
+func Run(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
+	if err := cfg.Spec.Validate(false); err != nil {
+		return nil, err
+	}
+	if cfg.MaxSendRetries > 0 {
+		c.SetMaxSendRetries(cfg.MaxSendRetries)
+	}
+	if c.Rank() == 0 {
+		return coordinate(c, cfg, pts)
+	}
+	return nil, work(c, cfg)
+}
+
+// buildMarcher triangulates a catalog and prepares the SoA kernel.
+func buildMarcher(pts []geom.Vec3) (*render.Marcher, error) {
+	tri, err := delaunay.New(pts)
+	if err != nil {
+		return nil, err
+	}
+	f, err := dtfe.NewField(tri, nil)
+	if err != nil {
+		return nil, err
+	}
+	return render.NewMarcher(f), nil
+}
+
+// subsetFor selects the particles within halo of a tile's marched x-span
+// (owned plus guard columns; jittered samples stay inside the cell, so the
+// span of cell edges bounds every line of sight).
+func subsetFor(spec render.Spec, t render.Tile, gl, gr int, halo float64, pts []geom.Vec3) []geom.Vec3 {
+	lo := spec.Min.X + float64(t.I0-gl)*spec.Cell - halo
+	hi := spec.Min.X + float64(t.I1+gr)*spec.Cell + halo
+	out := make([]geom.Vec3, 0, len(pts)/2)
+	for _, p := range pts {
+		if p.X >= lo && p.X <= hi {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// marchTile renders one assignment: the owned tile plus any guard columns,
+// against either the replicated marcher or a subset triangulation built
+// from the message's particles.
+func marchTile(cfg Config, m *render.Marcher, msg tileMsg) (res tileResult, err error) {
+	res.Tile = msg.Tile
+	if msg.Particles != nil {
+		if m, err = buildMarcher(msg.Particles); err != nil {
+			res.Err = err.Error()
+			return res, nil // tile-level failure: report, don't kill the rank
+		}
+	}
+	spec := cfg.Spec
+	owned := render.Tile{I0: msg.I0, I1: msg.I1}
+	g, stats, err := m.RenderTile(spec, owned, cfg.Workers, cfg.Sched)
+	if err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	res.Grid, res.Stats = g, stats
+	if msg.GL > 0 {
+		gL, _, err := m.RenderTile(spec, render.Tile{I0: msg.I0 - msg.GL, I1: msg.I0}, cfg.Workers, cfg.Sched)
+		if err != nil {
+			res.Err = err.Error()
+			return res, nil
+		}
+		res.GuardL = gL
+	}
+	if msg.GR > 0 {
+		gR, _, err := m.RenderTile(spec, render.Tile{I0: msg.I1, I1: msg.I1 + msg.GR}, cfg.Workers, cfg.Sched)
+		if err != nil {
+			res.Err = err.Error()
+			return res, nil
+		}
+		res.GuardR = gR
+	}
+	return res, nil
+}
+
+// work is the worker loop: receive assignments from rank 0, march, reply.
+// A lost result send is deliberately not retried here — the coordinator's
+// deadline re-dispatch covers it, and the march is bit-exact so recomputing
+// elsewhere is safe.
+func work(c *mpi.Comm, cfg Config) error {
+	var setup setupMsg
+	if _, err := c.Recv(0, tagSetup, &setup); err != nil {
+		if errors.Is(err, mpi.ErrRankFailed) {
+			return nil // coordinator gone before setup; nothing to serve
+		}
+		return err
+	}
+	var marcher *render.Marcher
+	done := 0
+	for {
+		var msg tileMsg
+		if _, err := c.Recv(0, tagAssign, &msg); err != nil {
+			if errors.Is(err, mpi.ErrRankFailed) {
+				return nil // coordinator gone; nothing left to serve
+			}
+			return err
+		}
+		if msg.Shutdown {
+			return nil
+		}
+		if cfg.Fault != nil && cfg.Fault.ShouldCrash(c.Rank(), fault.PointTile, done) {
+			return fault.Crashed(c.Rank(), fault.PointTile, done)
+		}
+		if msg.Particles == nil && marcher == nil {
+			m, err := buildMarcher(setup.Particles)
+			if err != nil {
+				return err
+			}
+			marcher = m
+		}
+		start := time.Now()
+		res, err := marchTile(cfg, marcher, msg)
+		if err != nil {
+			return err
+		}
+		if cfg.Fault != nil {
+			cfg.Fault.StraggleSleep(c.Rank(), time.Since(start))
+		}
+		res.Rank = c.Rank()
+		if err := c.Send(0, tagResult, res); err != nil {
+			if errors.Is(err, mpi.ErrMessageLost) {
+				done++
+				continue // dropped gather message: re-dispatch recovers it
+			}
+			if errors.Is(err, mpi.ErrRankFailed) {
+				return nil
+			}
+			return err
+		}
+		done++
+	}
+}
+
+// assignment tracks one dispatched tile.
+type assignment struct {
+	tile     int
+	deadline time.Time
+}
+
+// coordinate is the rank-0 side: tile the grid, drive the work queue with
+// failure/straggler recovery, gather, cross-check guards, stitch.
+func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
+	spec := cfg.Spec
+	if err := spec.Validate(false); err != nil {
+		return nil, err
+	}
+	nt := cfg.Tiles
+	if nt <= 0 {
+		nt = 2 * c.Size()
+	}
+	tiles := MakeTiles(spec, pts, nt, cfg.EvenTiles, cfg.CostBeta)
+
+	subset := cfg.Halo > 0
+	guard := 0
+	if subset {
+		guard = cfg.guard()
+	}
+	setup := setupMsg{
+		Spec: spec, Tiles: tiles, Workers: cfg.Workers, Sched: cfg.Sched,
+		Halo: cfg.Halo, Guard: guard,
+	}
+	if !subset {
+		setup.Particles = pts
+	}
+
+	res := &Result{
+		Grid:     spec.Grid(),
+		Tiles:    tiles,
+		TileRank: make([]int, len(tiles)),
+	}
+	for k := range res.TileRank {
+		res.TileRank[k] = -1
+	}
+
+	queue := make([]int, len(tiles))
+	for k := range queue {
+		queue[k] = k
+	}
+	inflight := make(map[int]assignment) // rank → its current assignment
+	dead := make(map[int]bool)
+	results := make(map[int]tileResult)
+
+	// Setup fan-out. A rank whose setup send is lost past the retry
+	// budget never learns the spec; it is written off like a crashed rank
+	// (it unblocks and exits cleanly once the coordinator finishes) and
+	// its share of tiles flows to the survivors.
+	for r := 1; r < c.Size(); r++ {
+		if err := c.Send(r, tagSetup, &setup); err != nil {
+			dead[r] = true
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("setup to rank %d: %s", r, err))
+		}
+	}
+
+	workersAll := cfg.Workers
+	if workersAll <= 0 {
+		workersAll = 1
+	}
+	merged := make(map[int]*render.WorkerStat)
+	var coordMarcher *render.Marcher
+
+	msgFor := func(k int) tileMsg {
+		t := tiles[k]
+		msg := tileMsg{Tile: k, I0: t.I0, I1: t.I1}
+		if subset {
+			msg.GL = min(guard, t.I0)
+			msg.GR = min(guard, spec.Nx-t.I1)
+			msg.Particles = subsetFor(spec, t, msg.GL, msg.GR, cfg.Halo, pts)
+		}
+		return msg
+	}
+	accept := func(r tileResult) {
+		if _, ok := results[r.Tile]; ok {
+			res.Duplicates++
+			return
+		}
+		results[r.Tile] = r
+		if r.Err == "" {
+			res.TileRank[r.Tile] = r.Rank
+			merged = render.MergeWorkerStats(merged, r.Stats, r.Rank*workersAll)
+		}
+	}
+	markDead := func(r int) {
+		if dead[r] {
+			return
+		}
+		dead[r] = true
+		if a, ok := inflight[r]; ok {
+			delete(inflight, r)
+			if _, have := results[a.tile]; !have {
+				queue = append(queue, a.tile)
+				res.Redispatched++
+			}
+		}
+	}
+
+	for len(results) < len(tiles) {
+		for _, r := range c.FailedRanks() {
+			markDead(r)
+		}
+		// Straggler re-dispatch: a past-deadline assignment goes back on
+		// the queue and its rank is treated as available again — the
+		// rank is either truly straggling (its eventual result arrives
+		// and first-wins dedupe discards the loser) or it already sent a
+		// result that was lost in transit (and is idle, waiting). Either
+		// way further assignments just queue in its mailbox.
+		now := time.Now()
+		for r, a := range inflight {
+			if now.After(a.deadline) {
+				delete(inflight, r)
+				if _, have := results[a.tile]; !have && !queued(queue, a.tile) {
+					queue = append(queue, a.tile)
+					res.Redispatched++
+				}
+			}
+		}
+		// Dispatch to idle live workers.
+		for r := 1; r < c.Size() && len(queue) > 0; r++ {
+			if dead[r] {
+				continue
+			}
+			if _, busy := inflight[r]; busy {
+				continue
+			}
+			k := queue[0]
+			if _, have := results[k]; have {
+				queue = queue[1:]
+				continue
+			}
+			if err := c.Send(r, tagAssign, msgFor(k)); err != nil {
+				markDead(r)
+				continue
+			}
+			queue = queue[1:]
+			inflight[r] = assignment{tile: k, deadline: time.Now().Add(cfg.tileTimeout())}
+		}
+		// No live worker can take work: the coordinator marches one
+		// queued tile itself, unless the test knob forbids it — then
+		// the remaining tiles are lost and the result is partial.
+		idleLive := false
+		for r := 1; r < c.Size(); r++ {
+			if !dead[r] {
+				idleLive = true
+				break
+			}
+		}
+		if len(queue) > 0 && !idleLive {
+			if cfg.NoCoordinatorCompute {
+				if len(inflight) == 0 {
+					break
+				}
+			} else {
+				k := queue[0]
+				queue = queue[1:]
+				if _, have := results[k]; have {
+					continue
+				}
+				msg := msgFor(k)
+				var m *render.Marcher
+				if !subset {
+					if coordMarcher == nil {
+						cm, err := buildMarcher(pts)
+						if err != nil {
+							return nil, err
+						}
+						coordMarcher = cm
+					}
+					m = coordMarcher
+					msg.Particles = nil
+				}
+				r, err := marchTile(cfg, m, msg)
+				if err != nil {
+					return nil, err
+				}
+				r.Rank = 0
+				accept(r)
+				continue
+			}
+		}
+		if len(results) >= len(tiles) {
+			break
+		}
+		// Gather with a tolerant poll (peer failures do not abort an
+		// AnySource wait; the deadline loop above handles them).
+		var r tileResult
+		src, err := c.RecvTimeout(mpi.AnySource, tagResult, &r, cfg.poll())
+		if err != nil {
+			if errors.Is(err, mpi.ErrTimeout) {
+				continue
+			}
+			return nil, fmt.Errorf("distrender: gather: %w", err)
+		}
+		delete(inflight, src)
+		accept(r)
+	}
+
+	// Shutdown the survivors; a failed send here is harmless.
+	for r := 1; r < c.Size(); r++ {
+		if !dead[r] {
+			_ = c.Send(r, tagAssign, tileMsg{Shutdown: true})
+		}
+	}
+
+	return stitch(cfg, res, tiles, results, merged, guard)
+}
+
+// queued reports whether tile k is already waiting in the queue.
+func queued(queue []int, k int) bool {
+	for _, q := range queue {
+		if q == k {
+			return true
+		}
+	}
+	return false
+}
+
+// stitch copies owned tile columns into the output grid, cross-checks
+// guard duplicates in subset mode, and finalizes counters and status.
+func stitch(cfg Config, res *Result, tiles []render.Tile, results map[int]tileResult,
+	merged map[int]*render.WorkerStat, guard int) (*Result, error) {
+	spec := cfg.Spec
+	var firstErr error
+	for k, t := range tiles {
+		r, ok := results[k]
+		if !ok || r.Err != "" {
+			res.Incomplete = true
+			res.Lost = append(res.Lost, k)
+			why := "never completed"
+			if ok {
+				why = r.Err
+			}
+			res.Failures = append(res.Failures, fmt.Sprintf("tile %d [%d,%d): %s", k, t.I0, t.I1, why))
+			continue
+		}
+		for j := 0; j < spec.Ny; j++ {
+			for i := t.I0; i < t.I1; i++ {
+				res.Grid.Set(i, j, r.Grid.At(i-t.I0, j))
+			}
+		}
+	}
+	if guard > 0 {
+		if err := checkGuards(spec, res, tiles, results, guard); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	res.Stats = render.FlattenWorkerStats(merged)
+	res.Outcomes = render.TotalOutcomes(res.Stats)
+	if res.Incomplete && firstErr == nil {
+		firstErr = fmt.Errorf("distrender: incomplete render: %d tile(s) lost", len(res.Lost))
+	}
+	return res, firstErr
+}
+
+// checkGuards compares every guard (duplicate) column against the owning
+// tile's stitched values, bit for bit. The first mismatch is returned as a
+// typed geomerr.HaloMismatchError and the result flagged Incomplete —
+// a too-small halo must be detected, never silently stitched.
+func checkGuards(spec render.Spec, res *Result, tiles []render.Tile, results map[int]tileResult, guard int) error {
+	var firstErr error
+	note := func(err error) {
+		res.Incomplete = true
+		res.Failures = append(res.Failures, err.Error())
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	cmp := func(tileK, ownerK int, g *grid.Grid2D, gi0 int) {
+		if g == nil {
+			return
+		}
+		for j := 0; j < spec.Ny && firstErr == nil; j++ {
+			for gi := 0; gi < g.Nx; gi++ {
+				i := gi0 + gi
+				a := res.Grid.At(i, j) // owner's stitched value
+				b := g.At(gi, j)       // this tile's guard duplicate
+				if math.Float64bits(a) != math.Float64bits(b) {
+					note(&geomerr.HaloMismatchError{
+						TileA: ownerK, TileB: tileK, Column: i, Row: j, A: a, B: b,
+					})
+					return
+				}
+			}
+		}
+	}
+	owner := func(i int) int {
+		for k, t := range tiles {
+			if i >= t.I0 && i < t.I1 {
+				return k
+			}
+		}
+		return -1
+	}
+	for k, t := range tiles {
+		r, ok := results[k]
+		if !ok || r.Err != "" {
+			continue
+		}
+		if gl := min(guard, t.I0); gl > 0 {
+			cmp(k, owner(t.I0-1), r.GuardL, t.I0-gl)
+		}
+		if gr := min(guard, spec.Nx-t.I1); gr > 0 {
+			cmp(k, owner(t.I1), r.GuardR, t.I1)
+		}
+	}
+	return firstErr
+}

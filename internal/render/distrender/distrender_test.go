@@ -1,0 +1,614 @@
+package distrender
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/fault"
+	"godtfe/internal/geom"
+	"godtfe/internal/geomerr"
+	"godtfe/internal/grid"
+	"godtfe/internal/mpi"
+	"godtfe/internal/render"
+	"godtfe/internal/synth"
+)
+
+// testCatalogs mirrors the render package's equivalence-test families:
+// clustered halos, an exact lattice (degenerate cosphericity, grid-aligned
+// columns), and a dirty mix with duplicates and coplanar points.
+func testCatalogs() map[string][]geom.Vec3 {
+	cats := make(map[string][]geom.Vec3)
+
+	box := geom.AABB{Min: geom.Vec3{}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	cats["clustered"] = synth.HaloSet(1500, box, synth.DefaultHaloSpec(), 7)
+
+	var lattice []geom.Vec3
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			for k := 0; k < 6; k++ {
+				lattice = append(lattice, geom.Vec3{X: float64(i) / 5, Y: float64(j) / 5, Z: float64(k) / 5})
+			}
+		}
+	}
+	cats["lattice"] = lattice
+
+	rng := rand.New(rand.NewSource(42))
+	var dirty []geom.Vec3
+	for len(dirty) < 300 {
+		p := geom.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		dirty = append(dirty, p)
+		if rng.Float64() < 0.2 {
+			dirty = append(dirty, p)
+		}
+		if rng.Float64() < 0.3 {
+			dirty = append(dirty, geom.Vec3{
+				X: math.Round(p.X*4) / 4, Y: math.Round(p.Y*4) / 4, Z: p.Z,
+			})
+		}
+	}
+	cats["dirty"] = dirty
+	return cats
+}
+
+func testSpec(pts []geom.Vec3) render.Spec {
+	b := geom.BoundsOf(pts)
+	const n = 48
+	pad := 0.02 * (b.Max.X - b.Min.X)
+	w := math.Max(b.Max.X-b.Min.X, b.Max.Y-b.Min.Y) + 2*pad
+	return render.Spec{
+		Min: geom.Vec2{X: b.Min.X - pad, Y: b.Min.Y - pad},
+		Nx:  n, Ny: n, Cell: w / n,
+		Samples: 2, Seed: 5,
+	}
+}
+
+// singleRank renders the reference the distributed output must match byte
+// for byte.
+func singleRank(t testing.TB, pts []geom.Vec3, spec render.Spec) (*grid.Grid2D, render.OutcomeCounts) {
+	t.Helper()
+	m, err := buildMarcher(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, stats, err := m.Render(spec, 3, render.ScheduleDynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, render.TotalOutcomes(stats)
+}
+
+// runDistributed executes one distributed render over a fresh in-process
+// world and returns rank 0's Result plus every rank's exit error.
+func runDistributed(ranks int, cfg Config, pts []geom.Vec3, inj *fault.Injector) (*Result, error, []error) {
+	w := mpi.NewWorld(ranks)
+	if inj != nil {
+		w.SetInjector(inj)
+		cfg.Fault = inj
+	}
+	var res *Result
+	var resErr error
+	errs := w.RunEach(func(c *mpi.Comm) error {
+		r, err := Run(c, cfg, pts)
+		if c.Rank() == 0 {
+			res, resErr = r, err
+			return err
+		}
+		return err
+	})
+	return res, resErr, errs
+}
+
+func pgmBytes(t testing.TB, g *grid.Grid2D) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func assertGridsIdentical(t *testing.T, want, got *grid.Grid2D) {
+	t.Helper()
+	if want.Nx != got.Nx || want.Ny != got.Ny {
+		t.Fatalf("grid shape: want %dx%d, got %dx%d", want.Nx, want.Ny, got.Nx, got.Ny)
+	}
+	for j := 0; j < want.Ny; j++ {
+		for i := 0; i < want.Nx; i++ {
+			a, b := want.At(i, j), got.At(i, j)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("cell (%d,%d): reference %v (%x), distributed %v (%x)",
+					i, j, a, math.Float64bits(a), b, math.Float64bits(b))
+			}
+		}
+	}
+}
+
+// TestDistributedMatchesSingleRank is the PR's core invariant: for every
+// reference catalog, rank count, and tile split, the sharded render's grid
+// values, PGM bytes, and summed column outcomes are byte-identical to the
+// single-rank reference.
+func TestDistributedMatchesSingleRank(t *testing.T) {
+	for name, pts := range testCatalogs() {
+		spec := testSpec(pts)
+		ref, refOutcomes := singleRank(t, pts, spec)
+		refPGM := pgmBytes(t, ref)
+		for _, ranks := range []int{1, 2, 4, 7} {
+			for _, even := range []bool{true, false} {
+				label := name + "/even"
+				if !even {
+					label = name + "/uneven"
+				}
+				ranks, even := ranks, even
+				t.Run(label+"/"+itoa(ranks), func(t *testing.T) {
+					cfg := Config{
+						Spec: spec, Workers: 2, EvenTiles: even,
+						Tiles: 2*ranks + 1, // odd count: tiles never align with ranks
+					}
+					res, err, errs := runDistributed(ranks, cfg, pts, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for r, e := range errs {
+						if e != nil {
+							t.Fatalf("rank %d: %v", r, e)
+						}
+					}
+					if res.Incomplete {
+						t.Fatalf("unexpected partial result: %v", res.Failures)
+					}
+					assertGridsIdentical(t, ref, res.Grid)
+					if !bytes.Equal(refPGM, pgmBytes(t, res.Grid)) {
+						t.Fatal("PGM bytes differ from single-rank reference")
+					}
+					if res.Outcomes != refOutcomes {
+						t.Fatalf("outcome counts: reference %v, distributed %v", refOutcomes, res.Outcomes)
+					}
+				})
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return "ranks=" + string(b[i:])
+}
+
+// TestWorkerIDsRebased is the satellite regression test: tile-local worker
+// ids (0..W-1 on every rank) must be re-based at the gather so distinct
+// ranks' workers never collide in the merged []WorkerStat.
+func TestWorkerIDsRebased(t *testing.T) {
+	pts := testCatalogs()["clustered"]
+	spec := testSpec(pts)
+	const workers = 3
+	cfg := Config{Spec: spec, Workers: workers, Tiles: 8}
+	res, err, _ := runDistributed(4, cfg, pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	ranksSeen := make(map[int]bool)
+	for _, s := range res.Stats {
+		if seen[s.Worker] {
+			t.Fatalf("worker id %d appears twice in merged stats", s.Worker)
+		}
+		seen[s.Worker] = true
+		ranksSeen[s.Worker/workers] = true
+	}
+	if len(ranksSeen) < 2 {
+		t.Fatalf("expected stats from >= 2 ranks, got rank set %v", ranksSeen)
+	}
+	var cells int
+	for _, s := range res.Stats {
+		cells += s.Cells
+	}
+	if cells != spec.Nx*spec.Ny {
+		t.Fatalf("merged stats cover %d cells, grid has %d", cells, spec.Nx*spec.Ny)
+	}
+}
+
+// TestMergeWorkerStats covers the render-layer helper directly: same-id
+// stats accumulate, different bases never collide.
+func TestMergeWorkerStats(t *testing.T) {
+	a := []render.WorkerStat{{Worker: 0, Cells: 5}, {Worker: 1, Cells: 7}}
+	b := []render.WorkerStat{{Worker: 0, Cells: 11}, {Worker: 1, Cells: 13}}
+	m := render.MergeWorkerStats(nil, a, 0)
+	m = render.MergeWorkerStats(m, b, 2)
+	m = render.MergeWorkerStats(m, a, 0) // second tile from rank 0
+	flat := render.FlattenWorkerStats(m)
+	if len(flat) != 4 {
+		t.Fatalf("want 4 distinct workers, got %d", len(flat))
+	}
+	wantCells := map[int]int{0: 10, 1: 14, 2: 11, 3: 13}
+	for _, s := range flat {
+		if s.Cells != wantCells[s.Worker] {
+			t.Fatalf("worker %d: cells %d, want %d", s.Worker, s.Cells, wantCells[s.Worker])
+		}
+	}
+}
+
+// --- chaos suite -----------------------------------------------------------
+
+// TestChaosRankCrashMidTile: a rank crashing mid-render at 4 ranks must be
+// detected and its tiles re-dispatched, recovering the bit-exact grid.
+func TestChaosRankCrashMidTile(t *testing.T) {
+	pts := testCatalogs()["clustered"]
+	spec := testSpec(pts)
+	ref, refOutcomes := singleRank(t, pts, spec)
+
+	inj := fault.New(fault.Plan{
+		Seed:    1,
+		Crashes: []fault.Crash{{Rank: 2, Point: fault.PointTile, After: 1}},
+	})
+	cfg := Config{Spec: spec, Workers: 2, Tiles: 9, TileTimeout: 300 * time.Millisecond}
+	res, err, errs := runDistributed(4, cfg, pts, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errs[2], fault.ErrInjectedCrash) {
+		t.Fatalf("rank 2 should have crashed, got %v", errs[2])
+	}
+	if res.Incomplete {
+		t.Fatalf("crash recovery left a partial result: %v", res.Failures)
+	}
+	assertGridsIdentical(t, ref, res.Grid)
+	if res.Outcomes != refOutcomes {
+		t.Fatalf("outcome counts after recovery: want %v, got %v", refOutcomes, res.Outcomes)
+	}
+}
+
+// TestChaosStraggler: a slowed rank's overdue tiles are re-dispatched; the
+// duplicate results are resolved first-wins and the grid stays bit-exact.
+func TestChaosStraggler(t *testing.T) {
+	pts := testCatalogs()["dirty"]
+	spec := testSpec(pts)
+	ref, _ := singleRank(t, pts, spec)
+
+	inj := fault.New(fault.Plan{
+		Seed:             2,
+		Stragglers:       []fault.Straggler{{Rank: 1, Factor: 200}},
+		MaxStraggleSleep: 150 * time.Millisecond,
+	})
+	cfg := Config{Spec: spec, Workers: 2, Tiles: 6, TileTimeout: 40 * time.Millisecond}
+	res, err, errs := runDistributed(3, cfg, pts, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, e := range errs {
+		if e != nil {
+			t.Fatalf("rank %d: %v", r, e)
+		}
+	}
+	if res.Incomplete {
+		t.Fatalf("straggler run left a partial result: %v", res.Failures)
+	}
+	assertGridsIdentical(t, ref, res.Grid)
+}
+
+// TestChaosDroppedResult: gather messages dropped past the send retry
+// budget surface as lost sends on the worker; the coordinator's deadline
+// re-dispatch recovers the tiles and the grid stays bit-exact.
+func TestChaosDroppedResult(t *testing.T) {
+	pts := testCatalogs()["lattice"]
+	spec := testSpec(pts)
+	ref, _ := singleRank(t, pts, spec)
+
+	inj := fault.New(fault.Plan{
+		Seed:      3,
+		DropProb:  0.4,
+		DropCount: 5, // beyond the retry budget: some sends are truly lost
+	})
+	cfg := Config{
+		Spec: spec, Workers: 2, Tiles: 8,
+		TileTimeout: 100 * time.Millisecond, MaxSendRetries: 2,
+	}
+	res, err, errs := runDistributed(3, cfg, pts, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, e := range errs {
+		if e != nil {
+			t.Fatalf("rank %d: %v", r, e)
+		}
+	}
+	assertGridsIdentical(t, ref, res.Grid)
+}
+
+// TestChaosAllWorkersLost: when every worker dies and the coordinator is
+// forbidden from computing (NoCoordinatorCompute), the Result must be a
+// correctly flagged partial — lost tiles enumerated, never silent zeros.
+func TestChaosAllWorkersLost(t *testing.T) {
+	pts := testCatalogs()["dirty"]
+	spec := testSpec(pts)
+
+	inj := fault.New(fault.Plan{
+		Seed: 4,
+		Crashes: []fault.Crash{
+			{Rank: 1, Point: fault.PointTile, After: 1},
+			{Rank: 2, Point: fault.PointTile, After: 1},
+		},
+	})
+	cfg := Config{
+		Spec: spec, Workers: 2, Tiles: 8,
+		TileTimeout: 200 * time.Millisecond, NoCoordinatorCompute: true,
+	}
+	res, err, errs := runDistributed(3, cfg, pts, inj)
+	if err == nil {
+		t.Fatal("expected an incomplete-render error")
+	}
+	if res == nil {
+		t.Fatal("partial result must still be returned")
+	}
+	if !res.Incomplete || len(res.Lost) == 0 {
+		t.Fatalf("result not flagged partial: incomplete=%v lost=%v", res.Incomplete, res.Lost)
+	}
+	if len(res.Lost)+countStitched(res) != len(res.Tiles) {
+		t.Fatalf("lost (%d) + stitched (%d) tiles != total (%d)",
+			len(res.Lost), countStitched(res), len(res.Tiles))
+	}
+	for _, e := range errs[1:] {
+		if !errors.Is(e, fault.ErrInjectedCrash) {
+			t.Fatalf("worker should have crashed, got %v", e)
+		}
+	}
+}
+
+func countStitched(res *Result) int {
+	n := 0
+	for _, r := range res.TileRank {
+		if r >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// --- halo property test ----------------------------------------------------
+
+// maxProjectedTetDiameter measures the largest x/y extent of any finite
+// tetrahedron of the catalog's triangulation — the halo width above which
+// a subset triangulation should reproduce the reference at tile
+// boundaries.
+func maxProjectedTetDiameter(t *testing.T, pts []geom.Vec3) float64 {
+	t.Helper()
+	tri, err := delaunay.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := tri.Points()
+	var d float64
+	tri.ForEachFiniteTet(func(ti int32, tet *delaunay.Tet) {
+		for a := 0; a < 4; a++ {
+			for b := a + 1; b < 4; b++ {
+				pa, pb := all[tet.V[a]], all[tet.V[b]]
+				d = math.Max(d, math.Abs(pa.X-pb.X))
+				d = math.Max(d, math.Abs(pa.Y-pb.Y))
+			}
+		}
+	})
+	return d
+}
+
+// TestHaloWidthProperty sweeps the halo width in subset mode: a halo at
+// least the max projected tet diameter (doubled, to cover the
+// density-estimate stencil) reproduces the reference on tile-boundary
+// columns and passes the guard cross-check; an intentionally tiny halo is
+// *detected* as a typed geomerr.ErrHaloMismatch — never silently stitched.
+func TestHaloWidthProperty(t *testing.T) {
+	pts := testCatalogs()["clustered"]
+	spec := testSpec(pts)
+	ref, _ := singleRank(t, pts, spec)
+
+	diam := maxProjectedTetDiameter(t, pts)
+	t.Run("sufficient", func(t *testing.T) {
+		cfg := Config{
+			Spec: spec, Workers: 2, Tiles: 4, EvenTiles: true,
+			Halo: 2 * diam, Guard: 2,
+		}
+		res, err, _ := runDistributed(3, cfg, pts, nil)
+		if err != nil {
+			t.Fatalf("sufficient halo (%.3g) rejected: %v", 2*diam, err)
+		}
+		if res.Incomplete {
+			t.Fatalf("sufficient halo flagged incomplete: %v", res.Failures)
+		}
+		// Tile-boundary columns must match the full-triangulation
+		// reference exactly (interior columns may legitimately differ in
+		// subset mode; the boundary property is what the halo guards).
+		for _, tile := range res.Tiles {
+			for _, i := range []int{tile.I0, tile.I1 - 1} {
+				for j := 0; j < spec.Ny; j++ {
+					a, b := ref.At(i, j), res.Grid.At(i, j)
+					if math.Float64bits(a) != math.Float64bits(b) {
+						t.Fatalf("boundary column %d row %d: reference %v, subset render %v", i, j, a, b)
+					}
+				}
+			}
+		}
+	})
+	t.Run("too-small-detected", func(t *testing.T) {
+		cfg := Config{
+			Spec: spec, Workers: 2, Tiles: 4, EvenTiles: true,
+			Halo: spec.Cell / 4, Guard: 2,
+		}
+		res, err, _ := runDistributed(3, cfg, pts, nil)
+		if err == nil {
+			t.Fatal("too-small halo was not detected")
+		}
+		if !errors.Is(err, geomerr.ErrHaloMismatch) {
+			t.Fatalf("want geomerr.ErrHaloMismatch, got %v", err)
+		}
+		var hm *geomerr.HaloMismatchError
+		if !errors.As(err, &hm) {
+			t.Fatalf("error %v does not carry HaloMismatchError detail", err)
+		}
+		if res == nil || !res.Incomplete {
+			t.Fatal("halo mismatch must flag the result incomplete")
+		}
+	})
+}
+
+// --- wire codec ------------------------------------------------------------
+
+// TestWireRoundTrip pins the typed fast codec for both hot-path message
+// types, including nil/occupied optional grids and empty particle sets.
+func TestWireRoundTrip(t *testing.T) {
+	g := grid.NewGrid2D(3, 2, geom.Vec2{X: 1, Y: 2}, 0.5)
+	for i := range g.Data {
+		g.Data[i] = float64(i) * 1.25
+	}
+	msgs := []tileMsg{
+		{Shutdown: true},
+		{Tile: 3, I0: 7, I1: 12, GL: 1, GR: 2,
+			Particles: []geom.Vec3{{X: 1, Y: 2, Z: 3}, {X: -4, Y: 5e-3, Z: 6}}},
+		{Tile: 0, I0: 0, I1: 48},
+	}
+	for _, m := range msgs {
+		var got tileMsg
+		if err := got.UnmarshalFast(m.AppendFast(nil)); err != nil {
+			t.Fatal(err)
+		}
+		if got.Shutdown != m.Shutdown || got.Tile != m.Tile || got.I0 != m.I0 ||
+			got.I1 != m.I1 || got.GL != m.GL || got.GR != m.GR ||
+			len(got.Particles) != len(m.Particles) {
+			t.Fatalf("tileMsg round trip: sent %+v, got %+v", m, got)
+		}
+		for i := range m.Particles {
+			if got.Particles[i] != m.Particles[i] {
+				t.Fatalf("particle %d: sent %v, got %v", i, m.Particles[i], got.Particles[i])
+			}
+		}
+	}
+	res := tileResult{
+		Tile: 5, Rank: 2, Err: "subset degenerate",
+		Grid:   g,
+		GuardR: grid.NewGrid2D(1, 2, geom.Vec2{}, 0.5),
+		Stats: []render.WorkerStat{
+			{Worker: 1, Busy: 17 * time.Millisecond, Cells: 96, Steps: 1234,
+				Columns: render.OutcomeCounts{Clean: 90, Perturbed: 4, Fallback: 1, Abandoned: 1}},
+		},
+	}
+	var got tileResult
+	if err := got.UnmarshalFast(res.AppendFast(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got.Tile != res.Tile || got.Rank != res.Rank || got.Err != res.Err {
+		t.Fatalf("tileResult header round trip: sent %+v, got %+v", res, got)
+	}
+	if got.GuardL != nil {
+		t.Fatal("nil guard grid decoded as non-nil")
+	}
+	if got.Grid == nil || got.Grid.Nx != 3 || got.Grid.Ny != 2 {
+		t.Fatalf("grid round trip: %+v", got.Grid)
+	}
+	for i := range g.Data {
+		if math.Float64bits(got.Grid.Data[i]) != math.Float64bits(g.Data[i]) {
+			t.Fatalf("grid word %d differs", i)
+		}
+	}
+	if len(got.Stats) != 1 || got.Stats[0] != res.Stats[0] {
+		t.Fatalf("stats round trip: sent %+v, got %+v", res.Stats, got.Stats)
+	}
+}
+
+// TestMakeTiles pins the tiling invariants: full contiguous cover for both
+// split styles and any rank count, and cost-balanced boundaries that react
+// to particle clustering.
+func TestMakeTiles(t *testing.T) {
+	pts := testCatalogs()["clustered"]
+	spec := testSpec(pts)
+	for _, n := range []int{1, 2, 3, 5, 7, 16, 48, 100} {
+		for _, even := range []bool{true, false} {
+			tiles := MakeTiles(spec, pts, n, even, 0)
+			want := n
+			if want > spec.Nx {
+				want = spec.Nx
+			}
+			if len(tiles) != want {
+				t.Fatalf("n=%d even=%v: got %d tiles", n, even, len(tiles))
+			}
+			at := 0
+			for _, tl := range tiles {
+				if tl.I0 != at || tl.I1 <= tl.I0 {
+					t.Fatalf("n=%d even=%v: tile %+v breaks contiguous cover at %d", n, even, tl, at)
+				}
+				at = tl.I1
+			}
+			if at != spec.Nx {
+				t.Fatalf("n=%d even=%v: cover ends at %d, want %d", n, even, at, spec.Nx)
+			}
+		}
+	}
+	// Cost balancing: on a strongly clustered catalog the uneven split
+	// must not equal the even one.
+	evenT := MakeTiles(spec, pts, 6, true, 0)
+	costT := MakeTiles(spec, pts, 6, false, 0)
+	same := true
+	for i := range evenT {
+		if evenT[i] != costT[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("cost-balanced tiling identical to even split on clustered catalog")
+	}
+}
+
+// BenchmarkDistRender measures the end-to-end distributed render at 1, 4,
+// and 8 simulated ranks (in-process world, so this tracks protocol and
+// stitch overhead on top of the marching kernel).
+func BenchmarkDistRender(b *testing.B) {
+	box := geom.AABB{Min: geom.Vec3{}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	n := 4000
+	gridN := 64
+	if testing.Short() {
+		n, gridN = 800, 24
+	}
+	pts := synth.HaloSet(n, box, synth.DefaultHaloSpec(), 11)
+	spec := testSpec(pts)
+	spec.Nx, spec.Ny = gridN, gridN
+	for _, ranks := range []int{1, 4, 8} {
+		b.Run("ranks="+string(rune('0'+ranks)), func(b *testing.B) {
+			cfg := Config{Spec: spec, Workers: 2, Tiles: 2 * ranks}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err, _ := runDistributedBench(ranks, cfg, pts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Incomplete {
+					b.Fatal("incomplete render in benchmark")
+				}
+			}
+		})
+	}
+}
+
+func runDistributedBench(ranks int, cfg Config, pts []geom.Vec3) (*Result, error, []error) {
+	w := mpi.NewWorld(ranks)
+	var res *Result
+	var resErr error
+	errs := w.RunEach(func(c *mpi.Comm) error {
+		r, err := Run(c, cfg, pts)
+		if c.Rank() == 0 {
+			res, resErr = r, err
+		}
+		return err
+	})
+	return res, resErr, errs
+}

@@ -1,0 +1,236 @@
+// Wire protocol of the distributed renderer. Setup (spec + tiling + the
+// replicated catalog) is broadcast once via the gob fallback; the per-tile
+// scatter/gather messages ride the typed fast codec (mpi.FastMarshaler),
+// reusing the exported particle/float helpers and Grid2D's own fast
+// encoding, so the hot path never touches gob.
+package distrender
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"godtfe/internal/geom"
+	"godtfe/internal/grid"
+	"godtfe/internal/mpi"
+	"godtfe/internal/render"
+)
+
+// Message tags. The pipeline owns 100–103; the distributed renderer's
+// block starts at 120.
+const (
+	tagSetup  = 120 // coordinator → worker: setupMsg (gob, once)
+	tagAssign = 121 // coordinator → worker: tileMsg
+	tagResult = 122 // worker → coordinator: tileResult
+)
+
+// setupMsg is the one-shot broadcast that primes every rank: the render
+// spec, the tiling, and — in replication mode (Halo <= 0) — the full
+// catalog each rank triangulates locally. Sent via gob; it is not on the
+// per-tile hot path.
+type setupMsg struct {
+	Spec      render.Spec
+	Tiles     []render.Tile
+	Workers   int
+	Sched     render.Schedule
+	Halo      float64
+	Guard     int
+	Particles []geom.Vec3 // full catalog when Halo <= 0; nil in subset mode
+}
+
+// tileMsg assigns one tile to a worker. In subset mode it carries the
+// halo-padded particle subset the worker triangulates for this tile and
+// the guard widths to render on each interior side; in replication mode
+// Particles is nil and the worker marches its replicated mesh.
+type tileMsg struct {
+	Shutdown  bool
+	Tile      int // index into the tiling
+	I0, I1    int // owned columns [I0, I1)
+	GL, GR    int // guard columns to render left/right of the owned block
+	Particles []geom.Vec3
+}
+
+// tileResult returns one marched tile: the owned-column grid, optional
+// guard-column grids for the stitch-time halo cross-check, and the
+// tile-local worker stats (worker ids 0..W-1, re-based at the gather).
+type tileResult struct {
+	Tile   int
+	Rank   int
+	Err    string // non-empty: the tile failed on this rank (e.g. degenerate subset)
+	Grid   *grid.Grid2D
+	GuardL *grid.Grid2D
+	GuardR *grid.Grid2D
+	Stats  []render.WorkerStat
+}
+
+func appendUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+func readUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("distrender: truncated wire header")
+	}
+	return v, data[n:], nil
+}
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func readBool(data []byte) (bool, []byte, error) {
+	if len(data) < 1 {
+		return false, nil, fmt.Errorf("distrender: truncated wire header")
+	}
+	return data[0] != 0, data[1:], nil
+}
+
+// appendGrid frames an optional grid: presence byte, then a
+// length-prefixed Grid2D fast encoding (Grid2D.UnmarshalFast is strict
+// about payload length, so embedding needs the frame).
+func appendGrid(buf []byte, g *grid.Grid2D) []byte {
+	if g == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	sub := g.AppendFast(nil)
+	buf = appendUvarint(buf, uint64(len(sub)))
+	return append(buf, sub...)
+}
+
+func readGrid(data []byte) (*grid.Grid2D, []byte, error) {
+	present, data, err := readBool(data)
+	if err != nil || !present {
+		return nil, data, err
+	}
+	n, data, err := readUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(data)) < n {
+		return nil, nil, fmt.Errorf("distrender: truncated grid frame")
+	}
+	g := new(grid.Grid2D)
+	if err := g.UnmarshalFast(data[:n]); err != nil {
+		return nil, nil, err
+	}
+	return g, data[n:], nil
+}
+
+// AppendFast implements mpi.FastMarshaler.
+func (m tileMsg) AppendFast(buf []byte) []byte {
+	buf = appendBool(buf, m.Shutdown)
+	buf = appendUvarint(buf, uint64(m.Tile))
+	buf = appendUvarint(buf, uint64(m.I0))
+	buf = appendUvarint(buf, uint64(m.I1))
+	buf = appendUvarint(buf, uint64(m.GL))
+	buf = appendUvarint(buf, uint64(m.GR))
+	return mpi.AppendVec3s(buf, m.Particles)
+}
+
+// UnmarshalFast implements mpi.FastUnmarshaler.
+func (m *tileMsg) UnmarshalFast(data []byte) error {
+	var err error
+	if m.Shutdown, data, err = readBool(data); err != nil {
+		return err
+	}
+	ints := [5]*int{&m.Tile, &m.I0, &m.I1, &m.GL, &m.GR}
+	for _, p := range ints {
+		var v uint64
+		if v, data, err = readUvarint(data); err != nil {
+			return err
+		}
+		*p = int(v)
+	}
+	if _, err = mpi.ReadVec3s(data, &m.Particles); err != nil {
+		return err
+	}
+	if len(m.Particles) == 0 {
+		m.Particles = nil
+	}
+	return nil
+}
+
+// AppendFast implements mpi.FastMarshaler.
+func (r tileResult) AppendFast(buf []byte) []byte {
+	buf = appendUvarint(buf, uint64(r.Tile))
+	buf = appendUvarint(buf, uint64(r.Rank))
+	buf = appendUvarint(buf, uint64(len(r.Err)))
+	buf = append(buf, r.Err...)
+	buf = appendGrid(buf, r.Grid)
+	buf = appendGrid(buf, r.GuardL)
+	buf = appendGrid(buf, r.GuardR)
+	buf = appendUvarint(buf, uint64(len(r.Stats)))
+	for _, s := range r.Stats {
+		buf = appendUvarint(buf, uint64(s.Worker))
+		buf = appendUvarint(buf, uint64(s.Busy))
+		buf = appendUvarint(buf, uint64(s.Cells))
+		buf = appendUvarint(buf, uint64(s.Steps))
+		buf = appendUvarint(buf, uint64(s.Columns.Clean))
+		buf = appendUvarint(buf, uint64(s.Columns.Perturbed))
+		buf = appendUvarint(buf, uint64(s.Columns.Fallback))
+		buf = appendUvarint(buf, uint64(s.Columns.Abandoned))
+	}
+	return buf
+}
+
+// UnmarshalFast implements mpi.FastUnmarshaler.
+func (r *tileResult) UnmarshalFast(data []byte) error {
+	var err error
+	var v uint64
+	if v, data, err = readUvarint(data); err != nil {
+		return err
+	}
+	r.Tile = int(v)
+	if v, data, err = readUvarint(data); err != nil {
+		return err
+	}
+	r.Rank = int(v)
+	if v, data, err = readUvarint(data); err != nil {
+		return err
+	}
+	if uint64(len(data)) < v {
+		return fmt.Errorf("distrender: truncated error string")
+	}
+	r.Err = string(data[:v])
+	data = data[v:]
+	if r.Grid, data, err = readGrid(data); err != nil {
+		return err
+	}
+	if r.GuardL, data, err = readGrid(data); err != nil {
+		return err
+	}
+	if r.GuardR, data, err = readGrid(data); err != nil {
+		return err
+	}
+	if v, data, err = readUvarint(data); err != nil {
+		return err
+	}
+	if v > uint64(len(data)) { // each stat is >= 8 bytes; cheap sanity bound
+		return fmt.Errorf("distrender: implausible stats count %d", v)
+	}
+	r.Stats = make([]render.WorkerStat, v)
+	for i := range r.Stats {
+		s := &r.Stats[i]
+		var raw [8]uint64
+		for k := range raw {
+			if raw[k], data, err = readUvarint(data); err != nil {
+				return err
+			}
+		}
+		s.Worker = int(raw[0])
+		s.Busy = time.Duration(raw[1])
+		s.Cells = int(raw[2])
+		s.Steps = int64(raw[3])
+		s.Columns.Clean = int64(raw[4])
+		s.Columns.Perturbed = int64(raw[5])
+		s.Columns.Fallback = int64(raw[6])
+		s.Columns.Abandoned = int64(raw[7])
+	}
+	if len(r.Stats) == 0 {
+		r.Stats = nil
+	}
+	return nil
+}

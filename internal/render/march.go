@@ -126,6 +126,33 @@ func (m *Marcher) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, 
 		return nil, nil, err
 	}
 	out := spec.Grid()
+	stats := m.renderInto(spec, Tile{I0: 0, I1: spec.Nx}, out, workers, sched)
+	return out, stats, nil
+}
+
+// RenderTile renders one column-block tile of the spec's grid into a
+// Width×Ny tile grid. Cell centers and Monte Carlo jitter are evaluated at
+// the columns' global indices, so every cell of the tile is bit-identical
+// to the same cell of a whole-grid Render — the invariant the distributed
+// fan-out's stitch relies on.
+func (m *Marcher) RenderTile(spec Spec, t Tile, workers int, sched Schedule) (*grid.Grid2D, []WorkerStat, error) {
+	if err := spec.Validate(false); err != nil {
+		return nil, nil, err
+	}
+	if err := t.Validate(&spec); err != nil {
+		return nil, nil, err
+	}
+	out := spec.TileGrid(t)
+	stats := m.renderInto(spec, t, out, workers, sched)
+	return out, stats, nil
+}
+
+// renderInto is the shared column loop of Render and RenderTile: march the
+// tile's columns [t.I0, t.I1) of every row into out (whose column 0 holds
+// global column t.I0). Entry-location cursors are seeded per worker; the
+// coherent entry walk is bit-exact regardless of seeding, so tile renders
+// and whole-grid renders agree cell for cell.
+func (m *Marcher) renderInto(spec Spec, t Tile, out *grid.Grid2D, workers int, sched Schedule) []WorkerStat {
 	samples := spec.Samples
 	if samples < 1 {
 		samples = 1
@@ -137,12 +164,17 @@ func (m *Marcher) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, 
 	for w := range cursors {
 		cursors[w] = newEntryCursor(w)
 	}
-	stats := forEachRow(spec.Ny, workers, sched, func(w, j int, st *WorkerStat) {
+	return forEachRow(spec.Ny, workers, sched, func(w, j int, st *WorkerStat) {
 		cur := &cursors[w]
-		for i := 0; i < spec.Nx; i++ {
+		for i := t.I0; i < t.I1; i++ {
 			var acc float64
 			for s := 0; s < samples; s++ {
-				xi := out.Center(i, j)
+				// Global-index cell center: the exact expression
+				// Grid2D.Center uses for the whole grid.
+				xi := geom.Vec2{
+					X: spec.Min.X + (float64(i)+0.5)*spec.Cell,
+					Y: spec.Min.Y + (float64(j)+0.5)*spec.Cell,
+				}
 				if samples > 1 {
 					xi.X += (jitter(spec.Seed, i, j, s, 0) - 0.5) * spec.Cell
 					xi.Y += (jitter(spec.Seed, i, j, s, 1) - 0.5) * spec.Cell
@@ -152,11 +184,10 @@ func (m *Marcher) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, 
 				st.Steps += int64(steps)
 				st.Columns.Note(outcome)
 			}
-			out.Set(i, j, acc/float64(samples))
+			out.Set(i-t.I0, j, acc/float64(samples))
 			st.Cells++
 		}
 	})
-	return out, stats, nil
 }
 
 // Column integrates the DTFE density along the vertical line through xi.

@@ -18,6 +18,7 @@ package render
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +67,37 @@ func (s *Spec) Validate(need3D bool) error {
 
 // Grid allocates the output grid for the spec.
 func (s *Spec) Grid() *grid.Grid2D { return grid.NewGrid2D(s.Nx, s.Ny, s.Min, s.Cell) }
+
+// Tile is a contiguous block of grid columns [I0, I1) of a Spec, the unit
+// of distributed-render decomposition (grid sharding follows the DTFE
+// public software: partition the output grid, not the tessellation).
+// Column indices are global: a tile render evaluates exactly the cells the
+// full render would, so a stitched set of tiles is byte-identical to one
+// whole-grid render.
+type Tile struct {
+	I0, I1 int
+}
+
+// Width returns the number of columns in the tile.
+func (t Tile) Width() int { return t.I1 - t.I0 }
+
+// Validate checks the tile against the spec's column range.
+func (t Tile) Validate(s *Spec) error {
+	if t.I0 < 0 || t.I1 > s.Nx || t.I0 >= t.I1 {
+		return fmt.Errorf("render: tile [%d,%d) outside grid columns [0,%d)", t.I0, t.I1, s.Nx)
+	}
+	return nil
+}
+
+// TileGrid allocates the output grid for one tile of the spec: Width×Ny
+// cells whose lower corner sits at the tile's first column.
+func (s *Spec) TileGrid(t Tile) *grid.Grid2D {
+	min := geom.Vec2{X: s.Min.X + float64(t.I0)*s.Cell, Y: s.Min.Y}
+	if t.I0 == 0 {
+		min.X = s.Min.X
+	}
+	return grid.NewGrid2D(t.Width(), s.Ny, min, s.Cell)
+}
 
 // WorkerStat records one worker's share of a render, the paper's Fig 6
 // quantity.
@@ -160,6 +192,42 @@ func TotalOutcomes(stats []WorkerStat) OutcomeCounts {
 		o.Add(s.Columns)
 	}
 	return o
+}
+
+// MergeWorkerStats accumulates tile-local worker stats into a merged
+// per-global-worker view. Tile renders stamp worker ids 0..W-1 on every
+// rank, so a gather must re-base them before merging or distinct ranks'
+// workers collide; base is the first global id for this batch (rank×W for
+// rank-local batches). Stats for the same global worker accumulate across
+// tiles. merged may be nil; the updated map is returned.
+func MergeWorkerStats(merged map[int]*WorkerStat, stats []WorkerStat, base int) map[int]*WorkerStat {
+	if merged == nil {
+		merged = make(map[int]*WorkerStat)
+	}
+	for _, s := range stats {
+		id := base + s.Worker
+		m, ok := merged[id]
+		if !ok {
+			m = &WorkerStat{Worker: id}
+			merged[id] = m
+		}
+		m.Busy += s.Busy
+		m.Cells += s.Cells
+		m.Steps += s.Steps
+		m.Columns.Add(s.Columns)
+	}
+	return merged
+}
+
+// FlattenWorkerStats converts a MergeWorkerStats map into a slice sorted
+// by global worker id.
+func FlattenWorkerStats(merged map[int]*WorkerStat) []WorkerStat {
+	out := make([]WorkerStat, 0, len(merged))
+	for _, s := range merged {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
 }
 
 // Schedule selects how grid rows are distributed over workers.

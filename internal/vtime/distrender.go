@@ -1,0 +1,111 @@
+package vtime
+
+// Virtual-time model of the distributed single-grid render (the
+// internal/render/distrender fan-out): a coordinator owns the tiling,
+// workers march tiles and return partial grids. The coordinator
+// serializes on its own send/receive overhead — every assignment it
+// scatters and every tile grid it gathers costs SendOverhead on rank 0 —
+// which is the term that saturates strong scaling at high rank counts:
+// past the point where per-rank marching time falls below the
+// coordinator's per-tile protocol cost, extra ranks only deepen the
+// gather queue.
+
+import "sort"
+
+// DistRenderConfig configures a strong-scaling evaluation of the
+// distributed render.
+type DistRenderConfig struct {
+	Ranks int
+	Comm  CommModel
+	// TileCosts is the marching cost of each tile (seconds on one
+	// worker); the tiling is the unit of dispatch.
+	TileCosts []float64
+	// AssignBytes and ResultBytes size the scatter and gather messages
+	// (a tile assignment is small; a gathered tile grid is
+	// width×Ny×8 bytes plus stats).
+	AssignBytes, ResultBytes int64
+	// SetupCost is the per-rank one-time cost before the first tile
+	// (replicated triangulation build), paid concurrently by all ranks.
+	SetupCost float64
+	// StitchPerTile is the coordinator-side cost to stitch one gathered
+	// tile into the output grid.
+	StitchPerTile float64
+}
+
+// DistRenderOutcome summarizes one simulated distributed render.
+type DistRenderOutcome struct {
+	Ranks     int
+	Makespan  float64 // wall time until the stitched grid is complete
+	CoordBusy float64 // coordinator time in protocol + stitch (the serial term)
+	WorkBusy  float64 // total worker marching time
+	Tiles     int
+}
+
+// SimulateDistRender evaluates the greedy dynamic tile schedule the real
+// coordinator runs: idle workers receive the next queued tile; each
+// dispatch costs the coordinator SendOverhead + transit, each gather
+// SendOverhead + transit + StitchPerTile. With Ranks == 1 the coordinator
+// marches every tile itself (matching distrender's self-compute path).
+func SimulateDistRender(cfg DistRenderConfig) DistRenderOutcome {
+	out := DistRenderOutcome{Ranks: cfg.Ranks, Tiles: len(cfg.TileCosts)}
+	if cfg.Ranks <= 1 {
+		t := cfg.SetupCost
+		for _, c := range cfg.TileCosts {
+			t += c + cfg.StitchPerTile
+			out.WorkBusy += c
+			out.CoordBusy += cfg.StitchPerTile
+		}
+		out.Makespan = t
+		return out
+	}
+
+	workers := cfg.Ranks - 1
+	// freeAt[w]: virtual time worker w can start its next tile.
+	freeAt := make([]float64, workers)
+	for w := range freeAt {
+		freeAt[w] = cfg.SetupCost
+	}
+	coord := 0.0 // coordinator's serial protocol clock
+	// Largest-first dispatch order approximates the cost-balanced
+	// tiling's effect under the dynamic queue.
+	costs := append([]float64(nil), cfg.TileCosts...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(costs)))
+
+	doneAt := make([]float64, 0, len(costs))
+	for _, c := range costs {
+		// Earliest-free worker takes the tile.
+		w := 0
+		for i := 1; i < workers; i++ {
+			if freeAt[i] < freeAt[w] {
+				w = i
+			}
+		}
+		// Scatter: coordinator packages the assignment, then it transits.
+		coord = maxf(coord, 0) + cfg.Comm.SendOverhead
+		out.CoordBusy += cfg.Comm.SendOverhead
+		arrive := coord + cfg.Comm.Transit(cfg.AssignBytes)
+		start := maxf(arrive, freeAt[w])
+		finish := start + c
+		out.WorkBusy += c
+		// Gather: the result transits, then the coordinator ingests and
+		// stitches it — serialized on the coordinator.
+		ready := finish + cfg.Comm.SendOverhead + cfg.Comm.Transit(cfg.ResultBytes)
+		freeAt[w] = finish + cfg.Comm.SendOverhead
+		doneAt = append(doneAt, ready)
+	}
+	// The coordinator drains gathers in arrival order, one at a time.
+	sort.Float64s(doneAt)
+	for _, r := range doneAt {
+		coord = maxf(coord, r) + cfg.StitchPerTile
+		out.CoordBusy += cfg.StitchPerTile
+	}
+	out.Makespan = coord
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
