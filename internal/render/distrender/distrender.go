@@ -193,10 +193,12 @@ func subsetFor(spec render.Spec, t render.Tile, gl, gr int, halo float64, pts []
 // from the message's particles.
 func marchTile(cfg Config, m *render.Marcher, msg tileMsg) (res tileResult, err error) {
 	res.Tile = msg.Tile
-	if msg.Particles != nil {
+	if msg.Subset {
+		// An empty subset (void tile) fails the triangulation build; that
+		// is a tile-level failure to report, never a rank-fatal one.
 		if m, err = buildMarcher(msg.Particles); err != nil {
 			res.Err = err.Error()
-			return res, nil // tile-level failure: report, don't kill the rank
+			return res, nil
 		}
 	}
 	spec := cfg.Spec
@@ -254,7 +256,7 @@ func work(c *mpi.Comm, cfg Config) error {
 		if cfg.Fault != nil && cfg.Fault.ShouldCrash(c.Rank(), fault.PointTile, done) {
 			return fault.Crashed(c.Rank(), fault.PointTile, done)
 		}
-		if msg.Particles == nil && marcher == nil {
+		if !msg.Subset && marcher == nil {
 			m, err := buildMarcher(setup.Particles)
 			if err != nil {
 				return err
@@ -356,6 +358,7 @@ func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 		t := tiles[k]
 		msg := tileMsg{Tile: k, I0: t.I0, I1: t.I1}
 		if subset {
+			msg.Subset = true
 			msg.GL = min(guard, t.I0)
 			msg.GR = min(guard, spec.Nx-t.I1)
 			msg.Particles = subsetFor(spec, t, msg.GL, msg.GR, cfg.Halo, pts)
@@ -380,7 +383,7 @@ func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 		dead[r] = true
 		if a, ok := inflight[r]; ok {
 			delete(inflight, r)
-			if _, have := results[a.tile]; !have {
+			if _, have := results[a.tile]; !have && !queued(queue, a.tile) {
 				queue = append(queue, a.tile)
 				res.Redispatched++
 			}
@@ -483,7 +486,13 @@ func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 			}
 			return nil, fmt.Errorf("distrender: gather: %w", err)
 		}
-		delete(inflight, src)
+		// A late result for a *previous* assignment of this rank (the
+		// straggler path re-assigns past-deadline ranks) must not clear the
+		// tracking of its current tile: that tile may still be lost, and
+		// only its inflight deadline guarantees a re-dispatch.
+		if a, ok := inflight[src]; ok && a.tile == r.Tile {
+			delete(inflight, src)
+		}
 		accept(r)
 	}
 
@@ -557,13 +566,32 @@ func checkGuards(spec render.Spec, res *Result, tiles []render.Tile, results map
 			firstErr = err
 		}
 	}
-	cmp := func(tileK, ownerK int, g *grid.Grid2D, gi0 int) {
-		if g == nil {
+	owner := func(i int) int {
+		for k, t := range tiles {
+			if i >= t.I0 && i < t.I1 {
+				return k
+			}
+		}
+		return -1
+	}
+	healthy := func(k int) bool {
+		r, ok := results[k]
+		return ok && r.Err == ""
+	}
+	cmp := func(tileK int, g *grid.Grid2D, gi0 int) {
+		if g == nil || firstErr != nil {
 			return
 		}
-		for j := 0; j < spec.Ny && firstErr == nil; j++ {
-			for gi := 0; gi < g.Nx; gi++ {
-				i := gi0 + gi
+		for gi := 0; gi < g.Nx; gi++ {
+			// A guard column owned by a lost or failed tile has only zeros
+			// in the stitched grid — comparing against it would misreport
+			// the loss (already flagged Incomplete) as halo corruption.
+			i := gi0 + gi
+			ownerK := owner(i)
+			if ownerK < 0 || !healthy(ownerK) {
+				continue
+			}
+			for j := 0; j < spec.Ny; j++ {
 				a := res.Grid.At(i, j) // owner's stitched value
 				b := g.At(gi, j)       // this tile's guard duplicate
 				if math.Float64bits(a) != math.Float64bits(b) {
@@ -575,24 +603,16 @@ func checkGuards(spec render.Spec, res *Result, tiles []render.Tile, results map
 			}
 		}
 	}
-	owner := func(i int) int {
-		for k, t := range tiles {
-			if i >= t.I0 && i < t.I1 {
-				return k
-			}
-		}
-		return -1
-	}
 	for k, t := range tiles {
-		r, ok := results[k]
-		if !ok || r.Err != "" {
+		if !healthy(k) {
 			continue
 		}
+		r := results[k]
 		if gl := min(guard, t.I0); gl > 0 {
-			cmp(k, owner(t.I0-1), r.GuardL, t.I0-gl)
+			cmp(k, r.GuardL, t.I0-gl)
 		}
 		if gr := min(guard, spec.Nx-t.I1); gr > 0 {
-			cmp(k, owner(t.I1), r.GuardR, t.I1)
+			cmp(k, r.GuardR, t.I1)
 		}
 	}
 	return firstErr

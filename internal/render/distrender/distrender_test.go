@@ -367,6 +367,145 @@ func TestChaosAllWorkersLost(t *testing.T) {
 	}
 }
 
+// TestChaosStaleStragglerResultThenLoss pins the inflight-tracking rule: a
+// late result for a rank's *previous* assignment (the straggler path
+// re-assigns past-deadline ranks) must not clear the tracking of the tile
+// the rank currently holds. The scripted worker holds tile A past its
+// deadline, accepts the re-assignment B, sends the stale A result, and
+// drops B's result exactly as a lost gather send would — before the fix the
+// stale arrival deleted B's inflight entry, so no deadline could ever
+// re-dispatch B and the coordinator spun forever.
+func TestChaosStaleStragglerResultThenLoss(t *testing.T) {
+	pts := testCatalogs()["clustered"]
+	spec := testSpec(pts)
+	ref, _ := singleRank(t, pts, spec)
+
+	cfg := Config{Spec: spec, Workers: 2, Tiles: 2, TileTimeout: 200 * time.Millisecond}
+	w := mpi.NewWorld(2)
+	var res *Result
+	var resErr error
+	done := make(chan []error, 1)
+	go func() {
+		done <- w.RunEach(func(c *mpi.Comm) error {
+			if c.Rank() == 0 {
+				res, resErr = coordinate(c, cfg, pts)
+				return resErr
+			}
+			var setup setupMsg
+			if _, err := c.Recv(0, tagSetup, &setup); err != nil {
+				return err
+			}
+			m, err := buildMarcher(setup.Particles)
+			if err != nil {
+				return err
+			}
+			var first, second tileMsg
+			if _, err := c.Recv(0, tagAssign, &first); err != nil {
+				return err
+			}
+			// Blocking here until the coordinator re-assigns guarantees
+			// tile A's deadline has expired and tile B is now in flight.
+			if _, err := c.Recv(0, tagAssign, &second); err != nil {
+				return err
+			}
+			stale, err := marchTile(cfg, m, first)
+			if err != nil {
+				return err
+			}
+			stale.Rank = c.Rank()
+			if err := c.Send(0, tagResult, stale); err != nil {
+				return err
+			}
+			// B's result is never sent — only its inflight deadline can
+			// recover it. Serve whatever the coordinator re-dispatches.
+			for {
+				var msg tileMsg
+				if _, err := c.Recv(0, tagAssign, &msg); err != nil {
+					if errors.Is(err, mpi.ErrRankFailed) {
+						return nil
+					}
+					return err
+				}
+				if msg.Shutdown {
+					return nil
+				}
+				r, err := marchTile(cfg, m, msg)
+				if err != nil {
+					return err
+				}
+				r.Rank = c.Rank()
+				if err := c.Send(0, tagResult, r); err != nil {
+					return err
+				}
+			}
+		})
+	}()
+	var errs []error
+	select {
+	case errs = <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("coordinator hung: stale straggler result discarded the in-flight tile's tracking")
+	}
+	for r, e := range errs {
+		if e != nil {
+			t.Fatalf("rank %d: %v", r, e)
+		}
+	}
+	if resErr != nil {
+		t.Fatal(resErr)
+	}
+	if res.Incomplete {
+		t.Fatalf("unexpected partial result: %v", res.Failures)
+	}
+	assertGridsIdentical(t, ref, res.Grid)
+	if res.Redispatched < 2 {
+		t.Fatalf("expected >= 2 deadline re-dispatches, got %d", res.Redispatched)
+	}
+}
+
+// TestChaosEmptySubsetTile: in subset mode a void tile ships an empty
+// particle subset. That must decode as subset mode (explicit wire flag, not
+// inferred from the empty slice), fail at tile level on the worker, and be
+// reported as lost tiles — the ranks survive, and the healthy tiles' guard
+// columns bordering the lost ones are not misreported as halo corruption.
+func TestChaosEmptySubsetTile(t *testing.T) {
+	// Two clusters at the x extremes: with even tiles and a small halo the
+	// middle tiles' halo-padded spans hold no particles at all.
+	rng := rand.New(rand.NewSource(9))
+	var pts []geom.Vec3
+	for i := 0; i < 200; i++ {
+		pts = append(pts, geom.Vec3{X: rng.Float64() * 0.08, Y: rng.Float64(), Z: rng.Float64()})
+		pts = append(pts, geom.Vec3{X: 0.92 + rng.Float64()*0.08, Y: rng.Float64(), Z: rng.Float64()})
+	}
+	spec := testSpec(pts)
+	cfg := Config{
+		Spec: spec, Workers: 2, Tiles: 6, EvenTiles: true,
+		Halo: spec.Cell, Guard: 1,
+	}
+	res, err, errs := runDistributed(3, cfg, pts, nil)
+	for r, e := range errs[1:] { // errs[0] is the coordinator's incomplete-render error
+		if e != nil {
+			t.Fatalf("rank %d died on an empty subset (must be a tile-level failure): %v", r+1, e)
+		}
+	}
+	if err == nil {
+		t.Fatal("empty-subset tiles must surface an incomplete-render error")
+	}
+	if errors.Is(err, geomerr.ErrHaloMismatch) {
+		t.Fatalf("lost tiles misreported as halo corruption: %v", err)
+	}
+	if res == nil || !res.Incomplete || len(res.Lost) == 0 {
+		t.Fatal("expected a flagged partial result with lost tiles")
+	}
+	if countStitched(res) == 0 {
+		t.Fatal("cluster-covering tiles should still have been stitched")
+	}
+	if len(res.Lost)+countStitched(res) != len(res.Tiles) {
+		t.Fatalf("lost (%d) + stitched (%d) tiles != total (%d)",
+			len(res.Lost), countStitched(res), len(res.Tiles))
+	}
+}
+
 func countStitched(res *Result) int {
 	n := 0
 	for _, r := range res.TileRank {
@@ -473,8 +612,9 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 	msgs := []tileMsg{
 		{Shutdown: true},
-		{Tile: 3, I0: 7, I1: 12, GL: 1, GR: 2,
+		{Subset: true, Tile: 3, I0: 7, I1: 12, GL: 1, GR: 2,
 			Particles: []geom.Vec3{{X: 1, Y: 2, Z: 3}, {X: -4, Y: 5e-3, Z: 6}}},
+		{Subset: true, Tile: 2, I0: 4, I1: 7}, // empty subset: flag must survive
 		{Tile: 0, I0: 0, I1: 48},
 	}
 	for _, m := range msgs {
@@ -482,8 +622,8 @@ func TestWireRoundTrip(t *testing.T) {
 		if err := got.UnmarshalFast(m.AppendFast(nil)); err != nil {
 			t.Fatal(err)
 		}
-		if got.Shutdown != m.Shutdown || got.Tile != m.Tile || got.I0 != m.I0 ||
-			got.I1 != m.I1 || got.GL != m.GL || got.GR != m.GR ||
+		if got.Shutdown != m.Shutdown || got.Subset != m.Subset || got.Tile != m.Tile ||
+			got.I0 != m.I0 || got.I1 != m.I1 || got.GL != m.GL || got.GR != m.GR ||
 			len(got.Particles) != len(m.Particles) {
 			t.Fatalf("tileMsg round trip: sent %+v, got %+v", m, got)
 		}

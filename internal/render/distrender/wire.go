@@ -38,12 +38,16 @@ type setupMsg struct {
 	Particles []geom.Vec3 // full catalog when Halo <= 0; nil in subset mode
 }
 
-// tileMsg assigns one tile to a worker. In subset mode it carries the
-// halo-padded particle subset the worker triangulates for this tile and
-// the guard widths to render on each interior side; in replication mode
-// Particles is nil and the worker marches its replicated mesh.
+// tileMsg assigns one tile to a worker. In subset mode (Subset true) it
+// carries the halo-padded particle subset the worker triangulates for this
+// tile and the guard widths to render on each interior side; in
+// replication mode the worker marches its replicated mesh. The mode is an
+// explicit flag — it must not be inferred from len(Particles), because a
+// subset can legitimately be empty (a void tile), which is a tile-level
+// failure, not replication.
 type tileMsg struct {
 	Shutdown  bool
+	Subset    bool
 	Tile      int // index into the tiling
 	I0, I1    int // owned columns [I0, I1)
 	GL, GR    int // guard columns to render left/right of the owned block
@@ -122,6 +126,7 @@ func readGrid(data []byte) (*grid.Grid2D, []byte, error) {
 // AppendFast implements mpi.FastMarshaler.
 func (m tileMsg) AppendFast(buf []byte) []byte {
 	buf = appendBool(buf, m.Shutdown)
+	buf = appendBool(buf, m.Subset)
 	buf = appendUvarint(buf, uint64(m.Tile))
 	buf = appendUvarint(buf, uint64(m.I0))
 	buf = appendUvarint(buf, uint64(m.I1))
@@ -134,6 +139,9 @@ func (m tileMsg) AppendFast(buf []byte) []byte {
 func (m *tileMsg) UnmarshalFast(data []byte) error {
 	var err error
 	if m.Shutdown, data, err = readBool(data); err != nil {
+		return err
+	}
+	if m.Subset, data, err = readBool(data); err != nil {
 		return err
 	}
 	ints := [5]*int{&m.Tile, &m.I0, &m.I1, &m.GL, &m.GR}
