@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race bench bench-smoke bench-predicates fuzz nopanic ci
+.PHONY: build test tier1 vet race chaos bench bench-smoke bench-predicates fuzz nopanic ci
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,15 @@ vet:
 # switch in geom) under the race detector.
 race:
 	$(GO) test -race ./internal/mpi/... ./internal/pipeline/... ./internal/render/... ./internal/delaunay/... ./internal/geom/...
+
+# Fault-injection suites under the race detector: interior-rank death in
+# the reduction tree, cascading failures, dropped/duplicated frames,
+# straggler re-dispatch, tolerant receives, and collective attribution.
+# The -timeout is the watchdog: a recovery-path hang fails the run instead
+# of wedging CI.
+chaos:
+	$(GO) test -race -timeout 180s -run 'Chaos|Fault|Recover|Crash|Straggler|Tolerant|Attribution|Tree' \
+		./internal/mpi/... ./internal/fault/... ./internal/pipeline/... ./internal/render/distrender/...
 
 # Regression benchmarks: run the kernel/entry/codec/build/predicate/
 # distributed-render suite
@@ -57,4 +66,4 @@ nopanic:
 	fi
 	@echo "nopanic: clean"
 
-ci: tier1 vet nopanic race bench-smoke fuzz
+ci: tier1 vet nopanic race chaos bench-smoke fuzz

@@ -9,9 +9,12 @@
 // With -ranks > 1 the marching kernel runs the distributed fan-out over an
 // in-process MPI world: the grid is cut into cost-balanced column tiles
 // (-tiles), scattered over the ranks, marched, and gathered bit-identically
-// to the single-rank render. -halo > 0 switches from full catalog
-// replication to halo-padded particle subsets with guard-column
-// verification.
+// to the single-rank render. -gather selects the flat rank-0 gather or the
+// fault-tolerant k-ary reduction tree (-fanout arity; auto picks the tree
+// once the world has at least 4 ranks). -halo > 0 switches from full
+// catalog replication to halo-padded particle subsets with guard-column
+// verification; guard renders are skipped when the coordinator certifies
+// the halo from the triangulation's maximum circumradius.
 package main
 
 import (
@@ -44,6 +47,8 @@ func main() {
 	ranks := flag.Int("ranks", 1, "simulated MPI ranks for the distributed marching render")
 	tiles := flag.Int("tiles", 0, "column tiles for -ranks > 1 (default: 2x ranks, cost-balanced)")
 	halo := flag.Float64("halo", 0, "subset halo width for -ranks > 1 (0: replicate the catalog)")
+	gather := flag.String("gather", "auto", "result gather for -ranks > 1: auto | flat | tree")
+	fanout := flag.Int("fanout", 0, "reduction-tree arity for -gather tree/auto (default 4)")
 	flag.Parse()
 
 	policy, err := particleio.ParsePolicy(*ingest)
@@ -92,7 +97,7 @@ func main() {
 	switch *kernel {
 	case "marching":
 		if *ranks > 1 {
-			g, stats, err = distributedRender(spec, pts, *ranks, *tiles, *workers, *halo)
+			g, stats, err = distributedRender(spec, pts, *ranks, *tiles, *workers, *halo, *gather, *fanout)
 			break
 		}
 		g, stats, err = render.NewMarcher(field).Render(spec, *workers, render.ScheduleDynamic)
@@ -133,9 +138,21 @@ func main() {
 
 // distributedRender fans the marching render out over an in-process MPI
 // world and returns the stitched grid with globally re-based worker stats.
-func distributedRender(spec render.Spec, pts []geom.Vec3, ranks, tiles, workers int, halo float64) (*grid.Grid2D, []render.WorkerStat, error) {
+func distributedRender(spec render.Spec, pts []geom.Vec3, ranks, tiles, workers int, halo float64, gather string, fanout int) (*grid.Grid2D, []render.WorkerStat, error) {
+	var mode distrender.GatherMode
+	switch gather {
+	case "auto":
+		mode = distrender.GatherAuto
+	case "flat":
+		mode = distrender.GatherFlat
+	case "tree":
+		mode = distrender.GatherTree
+	default:
+		return nil, nil, fmt.Errorf("unknown -gather %q (want auto, flat, or tree)", gather)
+	}
 	cfg := distrender.Config{
 		Spec: spec, Tiles: tiles, Workers: workers, Halo: halo,
+		Gather: mode, Fanout: fanout,
 	}
 	var res *distrender.Result
 	var resErr error
@@ -159,7 +176,15 @@ func distributedRender(spec render.Spec, pts []geom.Vec3, ranks, tiles, workers 
 			return nil, nil, fmt.Errorf("rank %d: %w", r, e)
 		}
 	}
-	fmt.Printf("distributed: %d ranks, %d tiles, %d re-dispatched\n",
-		ranks, len(res.Tiles), res.Redispatched)
+	topo := "flat gather"
+	if res.TreeGather {
+		topo = fmt.Sprintf("fanout-%d tree gather", res.Fanout)
+	}
+	fmt.Printf("distributed: %d ranks, %d tiles, %s, %d re-dispatched\n",
+		ranks, len(res.Tiles), topo, res.Redispatched)
+	if res.CertifiedTiles > 0 {
+		fmt.Printf("certified halo: %d/%d tiles skipped guard renders (bound %.4g <= halo %.4g)\n",
+			res.CertifiedTiles, len(res.Tiles), res.CertifiedHalo, halo)
+	}
 	return res.Grid, res.Stats, nil
 }

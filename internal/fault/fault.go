@@ -35,6 +35,11 @@ const (
 	// PointTile is consulted by the distributed renderer before each tile
 	// march; progress is the number of tiles the rank has completed.
 	PointTile = "tile"
+	// PointRelay is consulted by the reduction-tree gather before a rank
+	// relays a merged frame upward; progress is the number of frames the
+	// rank has relayed. Crashing here kills an interior rank mid-merge,
+	// orphaning its subtree.
+	PointRelay = "relay"
 )
 
 // Crash kills one rank when it reaches a point with progress >= After.

@@ -43,7 +43,36 @@ var (
 	// ErrMessageLost reports that a send was dropped by the fault
 	// injector on every retry attempt.
 	ErrMessageLost = errors.New("mpi: message lost")
+	// ErrWorldChanged reports that a tolerant receive was woken by a
+	// change in world membership (a rank failed or exited) rather than by
+	// a message; the caller should consult FailedRanks/Alive and decide.
+	ErrWorldChanged = errors.New("mpi: world membership changed")
 )
+
+// RankError attributes a communication failure to a specific peer rank.
+// Every failure-aware path that knows which rank broke an operation —
+// point-to-point receives, collectives (Barrier, Bcast, Gather, ...),
+// terminally dropped sends, and decode failures — wraps its error in a
+// RankError so callers can report *who* failed, not just that something
+// did. Extract it with FailedRank.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankError) Error() string { return e.Err.Error() }
+
+func (e *RankError) Unwrap() error { return e.Err }
+
+// FailedRank returns the rank err attributes a failure to, when the error
+// chain carries one.
+func FailedRank(err error) (int, bool) {
+	var re *RankError
+	if errors.As(err, &re) {
+		return re.Rank, true
+	}
+	return 0, false
+}
 
 // internal tag namespace for collectives; user tags must be >= 0.
 const (
@@ -122,6 +151,7 @@ type World struct {
 
 	states   []atomic.Int32 // rank lifecycle (stateAlive/Done/Failed)
 	inFlight []atomic.Int64 // per-source delayed messages not yet delivered
+	epoch    atomic.Uint64  // bumped on every membership change (death or exit)
 
 	failMu   sync.Mutex
 	failErrs map[int]error
@@ -173,13 +203,22 @@ func (w *World) MarkFailed(rank int, cause error) {
 	}
 	w.failMu.Unlock()
 	w.states[rank].Store(stateFailed)
+	w.epoch.Add(1)
 	w.wakeAll()
 }
 
 func (w *World) markDone(rank int) {
 	w.states[rank].Store(stateDone)
+	w.epoch.Add(1)
 	w.wakeAll()
 }
+
+// FailureEpoch returns a counter that increments on every world membership
+// change (a rank failing or exiting cleanly). Tolerant receivers snapshot
+// it and pass it to RecvTolerant, which wakes with ErrWorldChanged the
+// moment the epoch moves — the failure-aware alternative to polling
+// FailedRanks on a timer.
+func (w *World) FailureEpoch() uint64 { return w.epoch.Load() }
 
 func (w *World) wakeAll() {
 	for _, m := range w.boxes {
@@ -205,9 +244,9 @@ func (w *World) failureOf(rank int) error {
 	cause := w.failErrs[rank]
 	w.failMu.Unlock()
 	if cause != nil {
-		return fmt.Errorf("%w: rank %d: %v", ErrRankFailed, rank, cause)
+		return &RankError{Rank: rank, Err: fmt.Errorf("%w: rank %d: %v", ErrRankFailed, rank, cause)}
 	}
-	return fmt.Errorf("%w: rank %d exited", ErrRankFailed, rank)
+	return &RankError{Rank: rank, Err: fmt.Errorf("%w: rank %d exited", ErrRankFailed, rank)}
 }
 
 func (w *World) totalInFlight() int64 {
@@ -285,6 +324,47 @@ func (w *World) take(me, src, tag int, deadline time.Time, tolerant bool) (envel
 	}
 }
 
+// takeMulti blocks until a message whose tag is in tags is queued at rank
+// me, the world's failure epoch moves past epoch, or the deadline (if
+// non-zero) expires — in that priority order. Queued messages always win:
+// a frame sent before its sender died remains deliverable. It never fails
+// on peer death itself (tolerant by construction); the epoch wakeup hands
+// membership changes to the caller as ErrWorldChanged plus the new epoch,
+// so recovery logic runs exactly once per change instead of on poll ticks.
+func (w *World) takeMulti(me int, tags []int, epoch uint64, deadline time.Time) (envelope, uint64, error) {
+	m := w.boxes[me]
+	hasDeadline := !deadline.IsZero()
+	if hasDeadline {
+		if d := time.Until(deadline); d > 0 {
+			t := time.AfterFunc(d, func() {
+				m.mu.Lock()
+				m.mu.Unlock() //nolint:staticcheck // park barrier before broadcast
+				m.cond.Broadcast()
+			})
+			defer t.Stop()
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, e := range m.queue {
+			for _, t := range tags {
+				if e.tag == t {
+					m.queue = append(m.queue[:i], m.queue[i+1:]...)
+					return e, epoch, nil
+				}
+			}
+		}
+		if now := w.epoch.Load(); now != epoch {
+			return envelope{}, now, fmt.Errorf("recv (multi-tag): %w", ErrWorldChanged)
+		}
+		if hasDeadline && !time.Now().Before(deadline) {
+			return envelope{}, epoch, fmt.Errorf("recv (multi-tag): %w", ErrTimeout)
+		}
+		m.cond.Wait()
+	}
+}
+
 // Comm is one rank's handle on the world.
 type Comm struct {
 	world      *World
@@ -351,6 +431,25 @@ func (c *Comm) Size() int { return c.world.size }
 
 // FailedRanks returns the ranks currently marked failed.
 func (c *Comm) FailedRanks() []int { return c.world.FailedRanks() }
+
+// FailureEpoch returns the world's current membership-change counter.
+func (c *Comm) FailureEpoch() uint64 { return c.world.FailureEpoch() }
+
+// Alive reports whether rank is still running (not done, not failed).
+func (c *Comm) Alive(rank int) bool {
+	return rank >= 0 && rank < c.world.size && c.world.states[rank].Load() == stateAlive
+}
+
+// RankFailure returns the failure error recorded for rank (an error chain
+// carrying ErrRankFailed and a RankError), whether the rank failed or
+// exited cleanly. It reports the cause even for done ranks, so callers can
+// attribute work lost to a clean early exit the same way.
+func (c *Comm) RankFailure(rank int) error {
+	if rank < 0 || rank >= c.world.size {
+		return fmt.Errorf("mpi: invalid rank %d", rank)
+	}
+	return c.world.failureOf(rank)
+}
 
 // SetMaxSendRetries sets how many times this rank's sends are retried when
 // the fault injector drops them (negative values are ignored).
@@ -422,7 +521,7 @@ func decodeFrom(e envelope, op string, v any) error {
 		releaseBuf(e.data)
 	}
 	if err != nil {
-		return fmt.Errorf("mpi: %s: decoding message from rank %d into %T: %w", op, e.src, v, err)
+		return &RankError{Rank: e.src, Err: fmt.Errorf("mpi: %s: decoding message from rank %d into %T: %w", op, e.src, v, err)}
 	}
 	return nil
 }
@@ -470,8 +569,8 @@ func (c *Comm) sendRaw(dst, tag int, data []byte, pooled bool) error {
 	if pooled {
 		releaseBuf(data)
 	}
-	return fmt.Errorf("mpi: send to rank %d tag %d dropped after %d attempts: %w",
-		dst, tag, attempts, ErrMessageLost)
+	return &RankError{Rank: dst, Err: fmt.Errorf("mpi: send to rank %d tag %d dropped after %d attempts: %w",
+		dst, tag, attempts, ErrMessageLost)}
 }
 
 // Send gob-encodes v and delivers it to rank dst with the given tag
@@ -520,6 +619,49 @@ func (c *Comm) RecvTimeout(src, tag int, v any, timeout time.Duration) (int, err
 		return 0, fmt.Errorf("mpi: %w", err)
 	}
 	return e.src, decodeFrom(e, fmt.Sprintf("recv tag %d", tag), v)
+}
+
+// Message is an undelivered payload returned by RecvTolerant: the caller
+// learns (Src, Tag) first and then decodes into the right type with
+// Decode. Decode releases the underlying pooled buffer and must be called
+// exactly once (a Message that is dropped without Decode leaks its buffer
+// back to the GC, which is safe but defeats pooling).
+type Message struct {
+	Src int
+	Tag int
+	env envelope
+}
+
+// Decode deserializes the message payload into v (a pointer).
+func (m *Message) Decode(v any) error {
+	return decodeFrom(m.env, fmt.Sprintf("recv tag %d", m.Tag), v)
+}
+
+// RecvTolerant blocks until a message bearing any tag in tags arrives from
+// any source, the world's failure epoch moves past epoch (ErrWorldChanged,
+// with the new epoch returned so the caller re-arms), or timeout expires
+// (ErrTimeout). timeout < 0 blocks indefinitely — safe because membership
+// changes wake the call; timeout == 0 is a non-blocking poll. Peer death
+// never aborts the wait with ErrRankFailed: this is the monitoring-mode
+// receive for coordinators that own recovery themselves.
+func (c *Comm) RecvTolerant(tags []int, epoch uint64, timeout time.Duration) (*Message, uint64, error) {
+	if len(tags) == 0 {
+		return nil, epoch, fmt.Errorf("mpi: RecvTolerant requires at least one tag")
+	}
+	for _, t := range tags {
+		if t < 0 {
+			return nil, epoch, fmt.Errorf("mpi: user tags must be >= 0, got %d", t)
+		}
+	}
+	var deadline time.Time
+	if timeout >= 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	e, ep, err := c.world.takeMulti(c.rank, tags, epoch, deadline)
+	if err != nil {
+		return nil, ep, fmt.Errorf("mpi: %w", err)
+	}
+	return &Message{Src: e.src, Tag: e.tag, env: e}, ep, nil
 }
 
 // TryRecv is a non-blocking Recv: it returns ok=false when no matching

@@ -28,6 +28,12 @@ type DistRenderConfig struct {
 	Sched     render.Schedule
 	Halo      float64
 	Guard     int
+	// Gather selects the flat rank-0 gather or the k-ary reduction tree
+	// (auto by world size when zero); Fanout is the tree arity. NoCertify
+	// disables the coordinator's certified-halo guard skip.
+	Gather    distrender.GatherMode
+	Fanout    int
+	NoCertify bool
 	// Ingest is the rank-0 particle-validation policy applied before
 	// tiling (fail-fast by default, like the pipeline's Phase 1).
 	Ingest particleio.ValidateOptions
@@ -68,6 +74,9 @@ func RunDistributedRender(c *mpi.Comm, cfg DistRenderConfig, pts []geom.Vec3) (*
 		Sched:                cfg.Sched,
 		Halo:                 cfg.Halo,
 		Guard:                cfg.Guard,
+		Gather:               cfg.Gather,
+		Fanout:               cfg.Fanout,
+		NoCertify:            cfg.NoCertify,
 		Fault:                cfg.Fault,
 		TileTimeout:          cfg.TileTimeout,
 		Poll:                 cfg.Poll,

@@ -10,6 +10,7 @@ import (
 	"godtfe/internal/mpi"
 	"godtfe/internal/particleio"
 	"godtfe/internal/render"
+	"godtfe/internal/render/distrender"
 	"godtfe/internal/synth"
 )
 
@@ -93,6 +94,67 @@ func TestRunDistributedRender(t *testing.T) {
 		}
 		if out.RenderTime <= 0 || out.IngestTime < 0 {
 			t.Fatalf("ranks=%d: phase timings not recorded: %+v", ranks, out)
+		}
+	}
+}
+
+// TestRunDistributedRenderTreeGather: the phase wrapper passes the gather
+// topology knobs through — a forced reduction tree with explicit fanout is
+// reported back and still stitches bit-identically to a one-rank run.
+func TestRunDistributedRenderTreeGather(t *testing.T) {
+	box := geom.AABB{Min: geom.Vec3{}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	pts := synth.HaloSet(700, box, synth.DefaultHaloSpec(), 11)
+	b := geom.BoundsOf(pts)
+	const n = 32
+	pad := 0.02
+	w := math.Max(b.Max.X-b.Min.X, b.Max.Y-b.Min.Y) + 2*pad
+	spec := render.Spec{
+		Min: geom.Vec2{X: b.Min.X - pad, Y: b.Min.Y - pad},
+		Nx:  n, Ny: n, Cell: w / n, Samples: 2, Seed: 4,
+	}
+
+	run := func(ranks int, cfg DistRenderConfig) *DistRenderResult {
+		t.Helper()
+		var out *DistRenderResult
+		world := mpi.NewWorld(ranks)
+		errs := world.RunEach(func(c *mpi.Comm) error {
+			catalog := pts
+			if c.Rank() != 0 {
+				catalog = nil
+			}
+			r, err := RunDistributedRender(c, cfg, catalog)
+			if c.Rank() == 0 {
+				out = r
+			}
+			return err
+		})
+		for r, e := range errs {
+			if e != nil {
+				t.Fatalf("ranks=%d rank %d: %v", ranks, r, e)
+			}
+		}
+		if out == nil || out.Result == nil || out.Incomplete {
+			t.Fatalf("ranks=%d: missing or partial result", ranks)
+		}
+		return out
+	}
+
+	base := DistRenderConfig{Spec: spec, Workers: 2, Tiles: 7}
+	ref := run(1, base)
+
+	treeCfg := base
+	treeCfg.Gather = distrender.GatherTree
+	treeCfg.Fanout = 2
+	tree := run(5, treeCfg)
+	if !tree.TreeGather || tree.Fanout != 2 {
+		t.Fatalf("gather knobs not passed through: TreeGather=%v Fanout=%d", tree.TreeGather, tree.Fanout)
+	}
+	for j := 0; j < spec.Ny; j++ {
+		for i := 0; i < spec.Nx; i++ {
+			a, b := ref.Grid.At(i, j), tree.Grid.At(i, j)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("cell (%d,%d): reference %v, tree %v", i, j, a, b)
+			}
 		}
 	}
 }

@@ -1,0 +1,91 @@
+// Certified halo width. In subset mode each worker triangulates only the
+// particles within Halo of its tile's marched x-span, and guard columns
+// exist to detect the failure mode where that subset triangulation
+// diverges from the full-catalog one inside the tile. The guard renders
+// are pure overhead at scale, and the coordinator — which holds the full
+// catalog — can prove them unnecessary up front:
+//
+// Let R be the maximum circumradius over the finite tets of the FULL
+// triangulation (a sphere's projection onto the x-axis is an interval of
+// half-width exactly R, so R is also the "max projected circumradius" of
+// the PR 5 property-test sketch). Claim: Halo >= 4R makes every tile's
+// subset render byte-identical to the full render.
+//
+//   - A full tet whose circumsphere lies inside a tile's subset slab is
+//     subset-Delaunay too: its circumsphere is empty of ALL particles, its
+//     vertices are in the slab (hence in the subset, which is selected by
+//     x alone), so it appears in the subset triangulation — Delaunay
+//     triangulations are unique under the deterministic perturbed
+//     predicates.
+//   - Every full tet the tile march touches intersects the marched
+//     x-interval, so its circumsphere (half-width <= R) stays within 2R of
+//     that interval; its vertices lie inside the sphere, so within 2R.
+//   - The DTFE density at each such vertex v sums the volumes of v's full
+//     incident umbrella. Each umbrella tet's circumsphere passes through v,
+//     so it stays within 2R of v — within 4R of the marched interval,
+//     inside the slab when Halo >= 4R. Hence every umbrella tet is in the
+//     subset triangulation; and since they tile the full solid angle at v
+//     (v is interior to their union or on the catalog hull, where the full
+//     triangulation's tets at v likewise bound the subset's), the subset
+//     triangulation has exactly them: any extra subset tet at v would
+//     overlap one of them near v.
+//
+// Marched geometry and vertex densities both match, so the rendered
+// columns match bit for bit. The coordinator computes the bound once,
+// marks every assignment Certified when the configured halo clears it,
+// and workers skip the guard-column renders. When the bound is not met
+// (or a degenerate circumsphere makes it uncomputable) nothing changes:
+// guards render and the stitch-time cross-check keeps its full detection
+// power.
+package distrender
+
+import (
+	"godtfe/internal/delaunay"
+	"godtfe/internal/geom"
+)
+
+// certSlack inflates the bound so the Halo >= bound comparison is robust
+// to the last-ulp rounding of the circumcenter solves.
+const certSlack = 1e-9
+
+// CertifiedHaloBound returns the halo width above which subset-mode tile
+// renders are provably byte-identical to the full render (4x the maximum
+// circumradius of the catalog's triangulation). ok is false when any
+// finite tet's circumsphere is degenerate (cospherical or flat input), in
+// which case no certificate is available.
+func CertifiedHaloBound(tri *delaunay.Triangulation) (bound float64, ok bool) {
+	if tri == nil {
+		return 0, false
+	}
+	pts := tri.Points()
+	maxR := 0.0
+	ok = true
+	tri.ForEachFiniteTet(func(ti int32, tet *delaunay.Tet) {
+		if !ok {
+			return
+		}
+		a, b, c, d := pts[tet.V[0]], pts[tet.V[1]], pts[tet.V[2]], pts[tet.V[3]]
+		r0 := b.Sub(a).Scale(2)
+		r1 := c.Sub(a).Scale(2)
+		r2 := d.Sub(a).Scale(2)
+		rhs := geom.Vec3{
+			X: b.Norm2() - a.Norm2(),
+			Y: c.Norm2() - a.Norm2(),
+			Z: d.Norm2() - a.Norm2(),
+		}
+		x, solved := geom.Solve3(r0, r1, r2, rhs)
+		if !solved {
+			ok = false
+			return
+		}
+		if r := x.Sub(a).Norm(); r > maxR {
+			maxR = r
+		}
+	})
+	if !ok {
+		return 0, false
+	}
+	bound = 4 * maxR
+	bound += certSlack * (bound + 1)
+	return bound, true
+}

@@ -47,6 +47,24 @@ import (
 	"godtfe/internal/render"
 )
 
+// GatherMode selects how tile results flow back to rank 0.
+type GatherMode int
+
+const (
+	// GatherAuto uses the reduction tree when the world is big enough for
+	// one (>= 4 ranks) and the flat gather otherwise.
+	GatherAuto GatherMode = iota
+	// GatherFlat forces the PR 5 flat gather: dynamic work queue, every
+	// result sent straight to rank 0.
+	GatherFlat
+	// GatherTree forces the k-ary reduction tree (still degrading to flat
+	// when the world is too small for interior ranks to exist).
+	GatherTree
+)
+
+// DefaultFanout is the reduction-tree arity when Config.Fanout is unset.
+const DefaultFanout = 4
+
 // Config tunes one distributed render.
 type Config struct {
 	Spec render.Spec
@@ -66,6 +84,13 @@ type Config struct {
 	Workers int
 	Sched   render.Schedule
 
+	// Gather selects the flat gather or the reduction tree (GatherAuto
+	// picks by world size); Fanout is the tree arity (DefaultFanout when
+	// 0). The root decides authoritatively and broadcasts its choice, so
+	// all ranks always agree on the topology.
+	Gather GatherMode
+	Fanout int
+
 	// Halo <= 0 selects replication mode. Halo > 0 ships per-tile
 	// particle subsets within Halo of the tile's x-span and enables the
 	// guard-column cross-check.
@@ -73,13 +98,21 @@ type Config struct {
 	// Guard is the number of duplicate boundary columns rendered per
 	// interior tile edge in subset mode (default 1).
 	Guard int
+	// NoCertify disables the certified-halo optimization: without it, a
+	// subset-mode worker that can prove from its subset triangulation that
+	// the configured halo suffices for its tile skips the guard-column
+	// renders (they would compare equal by construction). Chaos tests that
+	// exercise guard mismatches set it.
+	NoCertify bool
 
 	// Fault optionally injects crashes/stragglers/message faults
 	// (chaos tests). Crash point: fault.PointTile.
 	Fault *fault.Injector
 
 	// TileTimeout is the re-dispatch deadline per assignment (default
-	// 30s). Poll is the coordinator's gather poll tick (default 5ms).
+	// 30s). Poll, when set, caps the coordinator's gather wait; by default
+	// the gather blocks until a message, a membership change, or the next
+	// assignment deadline — it no longer ticks on a poll interval.
 	TileTimeout time.Duration
 	Poll        time.Duration
 	// MaxSendRetries overrides the mpi send retry budget when > 0.
@@ -131,6 +164,17 @@ type Result struct {
 	Tiles    []render.Tile
 	TileRank []int
 
+	// TreeGather reports whether the reduction tree carried the gather
+	// (false: flat), and Fanout its arity.
+	TreeGather bool
+	Fanout     int
+	// CertifiedHalo is the halo width above which subset renders are
+	// provably byte-identical (CertifiedHaloBound; 0 when unavailable).
+	// CertifiedTiles counts the tiles stitched with that certificate in
+	// force — their guard renders were skipped as provably redundant.
+	CertifiedHalo  float64
+	CertifiedTiles int
+
 	// Redispatched counts re-queued assignments (crash or straggler
 	// deadline); Duplicates counts results discarded by first-wins.
 	Redispatched int
@@ -160,17 +204,19 @@ func Run(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 	return nil, work(c, cfg)
 }
 
-// buildMarcher triangulates a catalog and prepares the SoA kernel.
-func buildMarcher(pts []geom.Vec3) (*render.Marcher, error) {
+// buildMarcher triangulates a catalog and prepares the SoA kernel. The
+// triangulation is returned alongside so subset-mode workers can run the
+// halo certificate against it.
+func buildMarcher(pts []geom.Vec3) (*render.Marcher, *delaunay.Triangulation, error) {
 	tri, err := delaunay.New(pts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	f, err := dtfe.NewField(tri, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return render.NewMarcher(f), nil
+	return render.NewMarcher(f), tri, nil
 }
 
 // subsetFor selects the particles within halo of a tile's marched x-span
@@ -196,7 +242,7 @@ func marchTile(cfg Config, m *render.Marcher, msg tileMsg) (res tileResult, err 
 	if msg.Subset {
 		// An empty subset (void tile) fails the triangulation build; that
 		// is a tile-level failure to report, never a rank-fatal one.
-		if m, err = buildMarcher(msg.Particles); err != nil {
+		if m, _, err = buildMarcher(msg.Particles); err != nil {
 			res.Err = err.Error()
 			return res, nil
 		}
@@ -209,16 +255,24 @@ func marchTile(cfg Config, m *render.Marcher, msg tileMsg) (res tileResult, err 
 		return res, nil
 	}
 	res.Grid, res.Stats = g, stats
-	if msg.GL > 0 {
-		gL, _, err := m.RenderTile(spec, render.Tile{I0: msg.I0 - msg.GL, I1: msg.I0}, cfg.Workers, cfg.Sched)
+	gl, gr := msg.GL, msg.GR
+	if msg.Certified {
+		// The coordinator proved the configured halo sufficient
+		// (CertifiedHaloBound): the guard columns would compare equal by
+		// construction, so rendering them is pure overhead.
+		res.Certified = true
+		gl, gr = 0, 0
+	}
+	if gl > 0 {
+		gL, _, err := m.RenderTile(spec, render.Tile{I0: msg.I0 - gl, I1: msg.I0}, cfg.Workers, cfg.Sched)
 		if err != nil {
 			res.Err = err.Error()
 			return res, nil
 		}
 		res.GuardL = gL
 	}
-	if msg.GR > 0 {
-		gR, _, err := m.RenderTile(spec, render.Tile{I0: msg.I1, I1: msg.I1 + msg.GR}, cfg.Workers, cfg.Sched)
+	if gr > 0 {
+		gR, _, err := m.RenderTile(spec, render.Tile{I0: msg.I1, I1: msg.I1 + gr}, cfg.Workers, cfg.Sched)
 		if err != nil {
 			res.Err = err.Error()
 			return res, nil
@@ -240,6 +294,9 @@ func work(c *mpi.Comm, cfg Config) error {
 		}
 		return err
 	}
+	if setup.Tree {
+		return workTree(c, cfg, setup)
+	}
 	var marcher *render.Marcher
 	done := 0
 	for {
@@ -257,7 +314,7 @@ func work(c *mpi.Comm, cfg Config) error {
 			return fault.Crashed(c.Rank(), fault.PointTile, done)
 		}
 		if !msg.Subset && marcher == nil {
-			m, err := buildMarcher(setup.Particles)
+			m, _, err := buildMarcher(setup.Particles)
 			if err != nil {
 				return err
 			}
@@ -292,8 +349,179 @@ type assignment struct {
 	deadline time.Time
 }
 
-// coordinate is the rank-0 side: tile the grid, drive the work queue with
-// failure/straggler recovery, gather, cross-check guards, stitch.
+// coord is the rank-0 gather state shared by the flat and tree
+// coordinators. Tile grids are stitched into the output grid the moment
+// they are accepted (streaming stitch); only tile metadata — guards,
+// stats, failure strings — is retained per tile, so the coordinator's
+// footprint is one output grid regardless of tile count or topology.
+type coord struct {
+	cfg        Config
+	spec       render.Spec
+	tiles      []render.Tile
+	res        *Result
+	have       map[int]tileResult // accepted tiles, metadata only (Grid nil)
+	merged     map[int]*render.WorkerStat
+	workersAll int
+	guard      int
+	subset     bool
+	certified  bool // halo cleared CertifiedHaloBound: assignments skip guards
+	pts        []geom.Vec3
+}
+
+func newCoord(cfg Config, tiles []render.Tile, subset bool, guard int, pts []geom.Vec3) *coord {
+	workersAll := cfg.Workers
+	if workersAll <= 0 {
+		workersAll = 1
+	}
+	res := &Result{
+		Grid:     cfg.Spec.Grid(),
+		Tiles:    tiles,
+		TileRank: make([]int, len(tiles)),
+	}
+	for k := range res.TileRank {
+		res.TileRank[k] = -1
+	}
+	return &coord{
+		cfg: cfg, spec: cfg.Spec, tiles: tiles, res: res,
+		have:       make(map[int]tileResult),
+		merged:     make(map[int]*render.WorkerStat),
+		workersAll: workersAll, guard: guard, subset: subset, pts: pts,
+	}
+}
+
+func (co *coord) msgFor(k int) tileMsg {
+	t := co.tiles[k]
+	msg := tileMsg{Tile: k, I0: t.I0, I1: t.I1}
+	if co.subset {
+		msg.Subset = true
+		msg.Certified = co.certified
+		msg.GL = min(co.guard, t.I0)
+		msg.GR = min(co.guard, co.spec.Nx-t.I1)
+		msg.Particles = subsetFor(co.spec, t, msg.GL, msg.GR, co.cfg.Halo, co.pts)
+	}
+	return msg
+}
+
+// accept ingests one tile: g holds the tile's values with global column
+// gi0 at local column 0 (it may be a shared span buffer covering more than
+// this tile — only the tile's own columns are read). The grid is stitched
+// immediately and only metadata retained. Returns true when the tile was
+// new (first-wins); duplicates and malformed frames return false, the
+// latter left un-ingested so the deadline re-dispatch recovers the tile.
+func (co *coord) accept(meta tileResult, g *grid.Grid2D, gi0 int) bool {
+	k := meta.Tile
+	if k < 0 || k >= len(co.tiles) {
+		co.res.Failures = append(co.res.Failures,
+			fmt.Sprintf("discarded result for unknown tile %d from rank %d", k, meta.Rank))
+		return false
+	}
+	if _, ok := co.have[k]; ok {
+		co.res.Duplicates++
+		return false
+	}
+	t := co.tiles[k]
+	if meta.Err == "" {
+		if g == nil || g.Ny != co.spec.Ny || gi0 > t.I0 || gi0+g.Nx < t.I1 {
+			co.res.Failures = append(co.res.Failures,
+				fmt.Sprintf("discarded malformed grid frame for tile %d from rank %d", k, meta.Rank))
+			return false
+		}
+		off := t.I0 - gi0
+		for j := 0; j < co.spec.Ny; j++ {
+			for i := 0; i < t.I1-t.I0; i++ {
+				co.res.Grid.Set(t.I0+i, j, g.At(off+i, j))
+			}
+		}
+		co.res.TileRank[k] = meta.Rank
+		co.merged = render.MergeWorkerStats(co.merged, meta.Stats, meta.Rank*co.workersAll)
+		if meta.Certified {
+			co.res.CertifiedTiles++
+		}
+	}
+	meta.Grid = nil
+	co.have[k] = meta
+	return true
+}
+
+// complete reports whether every tile has been ingested.
+func (co *coord) complete() bool { return len(co.have) == len(co.tiles) }
+
+// selfCompute marches one tile on the coordinator (the fallback of last
+// resort when no live worker can take it).
+func (co *coord) selfCompute(k int, marcher **render.Marcher) error {
+	msg := co.msgFor(k)
+	var m *render.Marcher
+	if !co.subset {
+		if *marcher == nil {
+			cm, _, err := buildMarcher(co.pts)
+			if err != nil {
+				return err
+			}
+			*marcher = cm
+		}
+		m = *marcher
+		msg.Particles = nil
+	}
+	r, err := marchTile(co.cfg, m, msg)
+	if err != nil {
+		return err
+	}
+	r.Rank = 0
+	co.accept(r, r.Grid, co.tiles[k].I0)
+	return nil
+}
+
+// finalize enumerates lost/failed tiles, cross-checks guard duplicates in
+// subset mode, and folds the gathered stats.
+func (co *coord) finalize() (*Result, error) {
+	res := co.res
+	var firstErr error
+	for k, t := range co.tiles {
+		r, ok := co.have[k]
+		if !ok || r.Err != "" {
+			res.Incomplete = true
+			res.Lost = append(res.Lost, k)
+			why := "never completed"
+			if ok {
+				why = r.Err
+			}
+			res.Failures = append(res.Failures, fmt.Sprintf("tile %d [%d,%d): %s", k, t.I0, t.I1, why))
+		}
+	}
+	if co.guard > 0 {
+		if err := checkGuards(co.spec, res, co.tiles, co.have, co.guard); err != nil {
+			firstErr = err
+		}
+	}
+	res.Stats = render.FlattenWorkerStats(co.merged)
+	res.Outcomes = render.TotalOutcomes(res.Stats)
+	if res.Incomplete && firstErr == nil {
+		firstErr = fmt.Errorf("distrender: incomplete render: %d tile(s) lost", len(res.Lost))
+	}
+	return res, firstErr
+}
+
+// gatherTopology resolves the gather mode for a world size: tree needs at
+// least one level of interior ranks to be worth the protocol (>= 4 ranks
+// under GatherAuto; an explicit GatherTree still needs a child to exist).
+func gatherTopology(cfg Config, size int) (tree bool, fanout int) {
+	fanout = cfg.Fanout
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	switch cfg.Gather {
+	case GatherFlat:
+		return false, fanout
+	case GatherTree:
+		return size > 2, fanout
+	default:
+		return size >= 4, fanout
+	}
+}
+
+// coordinate is the rank-0 side: tile the grid, broadcast setup, then
+// drive the flat work queue or the reduction tree, stream-stitching
+// results as they arrive.
 func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 	spec := cfg.Spec
 	if err := spec.Validate(false); err != nil {
@@ -310,30 +538,31 @@ func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 	if subset {
 		guard = cfg.guard()
 	}
+	tree, fanout := gatherTopology(cfg, c.Size())
 	setup := setupMsg{
 		Spec: spec, Tiles: tiles, Workers: cfg.Workers, Sched: cfg.Sched,
-		Halo: cfg.Halo, Guard: guard,
+		Halo: cfg.Halo, Guard: guard, Tree: tree, Fanout: fanout,
 	}
 	if !subset {
 		setup.Particles = pts
 	}
 
-	res := &Result{
-		Grid:     spec.Grid(),
-		Tiles:    tiles,
-		TileRank: make([]int, len(tiles)),
+	co := newCoord(cfg, tiles, subset, guard, pts)
+	co.res.TreeGather = tree
+	co.res.Fanout = fanout
+	if subset && guard > 0 && !cfg.NoCertify {
+		// Certified halo: one full triangulation up front buys every tile
+		// out of its guard renders when the configured halo provably
+		// suffices. Failure to certify (degenerate circumspheres, halo
+		// below the bound) just leaves the guard cross-check in place.
+		if tri, err := delaunay.New(pts); err == nil {
+			if bound, ok := CertifiedHaloBound(tri); ok {
+				co.res.CertifiedHalo = bound
+				co.certified = cfg.Halo >= bound
+			}
+		}
 	}
-	for k := range res.TileRank {
-		res.TileRank[k] = -1
-	}
-
-	queue := make([]int, len(tiles))
-	for k := range queue {
-		queue[k] = k
-	}
-	inflight := make(map[int]assignment) // rank → its current assignment
 	dead := make(map[int]bool)
-	results := make(map[int]tileResult)
 
 	// Setup fan-out. A rank whose setup send is lost past the retry
 	// budget never learns the spec; it is written off like a crashed rank
@@ -342,55 +571,48 @@ func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 	for r := 1; r < c.Size(); r++ {
 		if err := c.Send(r, tagSetup, &setup); err != nil {
 			dead[r] = true
-			res.Failures = append(res.Failures,
+			co.res.Failures = append(co.res.Failures,
 				fmt.Sprintf("setup to rank %d: %s", r, err))
 		}
 	}
 
-	workersAll := cfg.Workers
-	if workersAll <= 0 {
-		workersAll = 1
+	if tree {
+		return coordinateTree(c, cfg, co, dead, fanout)
 	}
-	merged := make(map[int]*render.WorkerStat)
-	var coordMarcher *render.Marcher
+	return coordinateFlat(c, cfg, co, dead)
+}
 
-	msgFor := func(k int) tileMsg {
-		t := tiles[k]
-		msg := tileMsg{Tile: k, I0: t.I0, I1: t.I1}
-		if subset {
-			msg.Subset = true
-			msg.GL = min(guard, t.I0)
-			msg.GR = min(guard, spec.Nx-t.I1)
-			msg.Particles = subsetFor(spec, t, msg.GL, msg.GR, cfg.Halo, pts)
-		}
-		return msg
+// coordinateFlat drives the PR 5 dynamic work queue: one assignment in
+// flight per rank, deadline re-dispatch, results straight to rank 0. The
+// gather wait is event-driven — it blocks until a result, a world
+// membership change, or the earliest assignment deadline — so an idle
+// gather burns no CPU and rank death is observed the moment it happens.
+func coordinateFlat(c *mpi.Comm, cfg Config, co *coord, dead map[int]bool) (*Result, error) {
+	res := co.res
+	queue := make([]int, len(co.tiles))
+	for k := range queue {
+		queue[k] = k
 	}
-	accept := func(r tileResult) {
-		if _, ok := results[r.Tile]; ok {
-			res.Duplicates++
-			return
-		}
-		results[r.Tile] = r
-		if r.Err == "" {
-			res.TileRank[r.Tile] = r.Rank
-			merged = render.MergeWorkerStats(merged, r.Stats, r.Rank*workersAll)
-		}
-	}
+	inflight := make(map[int]assignment) // rank → its current assignment
+	var coordMarcher *render.Marcher
+	epoch := c.FailureEpoch()
+
 	markDead := func(r int) {
 		if dead[r] {
 			return
 		}
 		dead[r] = true
+		res.Failures = append(res.Failures, fmt.Sprintf("rank %d lost: %s", r, c.RankFailure(r)))
 		if a, ok := inflight[r]; ok {
 			delete(inflight, r)
-			if _, have := results[a.tile]; !have && !queued(queue, a.tile) {
+			if _, have := co.have[a.tile]; !have && !queued(queue, a.tile) {
 				queue = append(queue, a.tile)
 				res.Redispatched++
 			}
 		}
 	}
 
-	for len(results) < len(tiles) {
+	for !co.complete() {
 		for _, r := range c.FailedRanks() {
 			markDead(r)
 		}
@@ -404,7 +626,7 @@ func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 		for r, a := range inflight {
 			if now.After(a.deadline) {
 				delete(inflight, r)
-				if _, have := results[a.tile]; !have && !queued(queue, a.tile) {
+				if _, have := co.have[a.tile]; !have && !queued(queue, a.tile) {
 					queue = append(queue, a.tile)
 					res.Redispatched++
 				}
@@ -419,11 +641,11 @@ func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 				continue
 			}
 			k := queue[0]
-			if _, have := results[k]; have {
+			if _, have := co.have[k]; have {
 				queue = queue[1:]
 				continue
 			}
-			if err := c.Send(r, tagAssign, msgFor(k)); err != nil {
+			if err := c.Send(r, tagAssign, co.msgFor(k)); err != nil {
 				markDead(r)
 				continue
 			}
@@ -448,52 +670,67 @@ func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 			} else {
 				k := queue[0]
 				queue = queue[1:]
-				if _, have := results[k]; have {
+				if _, have := co.have[k]; have {
 					continue
 				}
-				msg := msgFor(k)
-				var m *render.Marcher
-				if !subset {
-					if coordMarcher == nil {
-						cm, err := buildMarcher(pts)
-						if err != nil {
-							return nil, err
-						}
-						coordMarcher = cm
-					}
-					m = coordMarcher
-					msg.Particles = nil
-				}
-				r, err := marchTile(cfg, m, msg)
-				if err != nil {
+				if err := co.selfCompute(k, &coordMarcher); err != nil {
 					return nil, err
 				}
-				r.Rank = 0
-				accept(r)
 				continue
 			}
 		}
-		if len(results) >= len(tiles) {
+		if co.complete() {
 			break
 		}
-		// Gather with a tolerant poll (peer failures do not abort an
-		// AnySource wait; the deadline loop above handles them).
-		var r tileResult
-		src, err := c.RecvTimeout(mpi.AnySource, tagResult, &r, cfg.poll())
+		// Event-driven gather: block until a result arrives, the world
+		// membership changes (waking the failure scan at the loop top), or
+		// the earliest in-flight deadline is due.
+		wait := time.Second
+		if cfg.Poll > 0 {
+			wait = cfg.Poll
+		}
+		now = time.Now()
+		for _, a := range inflight {
+			if d := a.deadline.Sub(now); d < wait {
+				wait = d
+			}
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		msg, ep, err := c.RecvTolerant([]int{tagResult, tagFrame}, epoch, wait)
+		epoch = ep
 		if err != nil {
-			if errors.Is(err, mpi.ErrTimeout) {
+			if errors.Is(err, mpi.ErrTimeout) || errors.Is(err, mpi.ErrWorldChanged) {
 				continue
 			}
 			return nil, fmt.Errorf("distrender: gather: %w", err)
+		}
+		if msg.Tag == tagFrame {
+			// A tree frame reaching a flat gather means a worker running
+			// the tree protocol (mode disagreement should be impossible —
+			// the root broadcasts the topology — but a robust gather
+			// ingests it rather than dropping the work).
+			ingestFrame(c, co, msg, func(tile, owner int) {
+				if a, ok := inflight[owner]; ok && a.tile == tile {
+					delete(inflight, owner)
+				}
+			})
+			continue
+		}
+		var r tileResult
+		if derr := msg.Decode(&r); derr != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("gather decode: %s", derr))
+			continue
 		}
 		// A late result for a *previous* assignment of this rank (the
 		// straggler path re-assigns past-deadline ranks) must not clear the
 		// tracking of its current tile: that tile may still be lost, and
 		// only its inflight deadline guarantees a re-dispatch.
-		if a, ok := inflight[src]; ok && a.tile == r.Tile {
-			delete(inflight, src)
+		if a, ok := inflight[msg.Src]; ok && a.tile == r.Tile {
+			delete(inflight, msg.Src)
 		}
-		accept(r)
+		co.accept(r, r.Grid, gi0For(co, r.Tile))
 	}
 
 	// Shutdown the survivors; a failed send here is harmless.
@@ -503,7 +740,71 @@ func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 		}
 	}
 
-	return stitch(cfg, res, tiles, results, merged, guard)
+	return co.finalize()
+}
+
+// gi0For returns the global first column of tile k (0 for out-of-range
+// tiles, which accept rejects anyway).
+func gi0For(co *coord, k int) int {
+	if k < 0 || k >= len(co.tiles) {
+		return 0
+	}
+	return co.tiles[k].I0
+}
+
+// ingestFrame accepts every tile of a treeFrame into the coordinator state
+// and acks the sender. cleared is invoked for each newly accepted tile with
+// the rank that marched it, so the caller can clear its own tracking.
+func ingestFrame(c *mpi.Comm, co *coord, msg *mpi.Message, cleared func(tile, rank int)) {
+	var f treeFrame
+	if err := msg.Decode(&f); err != nil {
+		co.res.Failures = append(co.res.Failures, fmt.Sprintf("gather decode: %s", err))
+		return
+	}
+	ack := frameAck{Tiles: make([]int, 0, len(f.Tiles))}
+	for _, tf := range f.Tiles {
+		// Ack everything in the frame — duplicates and malformed entries
+		// included — so the child stops re-sending; a tile rejected as
+		// malformed is recovered by the deadline re-dispatch, not by a
+		// retry of the same bytes.
+		ack.Tiles = append(ack.Tiles, tf.Tile)
+		meta := tileResult{
+			Tile: tf.Tile, Rank: tf.Rank, Err: tf.Err, Certified: tf.Certified,
+			GuardL: tf.GuardL, GuardR: tf.GuardR, Stats: tf.Stats,
+		}
+		g, gi0 := findSpan(f.Spans, tf.I0, tf.I1)
+		if meta.Err == "" && !spanMatchesTile(co, tf) {
+			co.res.Failures = append(co.res.Failures,
+				fmt.Sprintf("discarded frame for tile %d: span [%d,%d) does not match tiling", tf.Tile, tf.I0, tf.I1))
+			continue
+		}
+		if co.accept(meta, g, gi0) && cleared != nil {
+			cleared(tf.Tile, tf.Rank)
+		}
+	}
+	_ = c.Send(msg.Src, tagAck, ack)
+}
+
+// spanMatchesTile verifies a frame's claimed column span against the
+// authoritative tiling (frames cross multiple hops; a corrupt span must
+// not be stitched at the wrong offset).
+func spanMatchesTile(co *coord, tf tileFrame) bool {
+	if tf.Tile < 0 || tf.Tile >= len(co.tiles) {
+		return false
+	}
+	t := co.tiles[tf.Tile]
+	return tf.I0 == t.I0 && tf.I1 == t.I1
+}
+
+// findSpan locates the span grid covering global columns [i0, i1) and
+// returns it with its global first column.
+func findSpan(spans []gridSpan, i0, i1 int) (*grid.Grid2D, int) {
+	for _, s := range spans {
+		if s.Grid != nil && s.I0 <= i0 && i1 <= s.I0+s.Grid.Nx {
+			return s.Grid, s.I0
+		}
+	}
+	return nil, 0
 }
 
 // queued reports whether tile k is already waiting in the queue.
@@ -514,43 +815,6 @@ func queued(queue []int, k int) bool {
 		}
 	}
 	return false
-}
-
-// stitch copies owned tile columns into the output grid, cross-checks
-// guard duplicates in subset mode, and finalizes counters and status.
-func stitch(cfg Config, res *Result, tiles []render.Tile, results map[int]tileResult,
-	merged map[int]*render.WorkerStat, guard int) (*Result, error) {
-	spec := cfg.Spec
-	var firstErr error
-	for k, t := range tiles {
-		r, ok := results[k]
-		if !ok || r.Err != "" {
-			res.Incomplete = true
-			res.Lost = append(res.Lost, k)
-			why := "never completed"
-			if ok {
-				why = r.Err
-			}
-			res.Failures = append(res.Failures, fmt.Sprintf("tile %d [%d,%d): %s", k, t.I0, t.I1, why))
-			continue
-		}
-		for j := 0; j < spec.Ny; j++ {
-			for i := t.I0; i < t.I1; i++ {
-				res.Grid.Set(i, j, r.Grid.At(i-t.I0, j))
-			}
-		}
-	}
-	if guard > 0 {
-		if err := checkGuards(spec, res, tiles, results, guard); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	res.Stats = render.FlattenWorkerStats(merged)
-	res.Outcomes = render.TotalOutcomes(res.Stats)
-	if res.Incomplete && firstErr == nil {
-		firstErr = fmt.Errorf("distrender: incomplete render: %d tile(s) lost", len(res.Lost))
-	}
-	return res, firstErr
 }
 
 // checkGuards compares every guard (duplicate) column against the owning

@@ -71,7 +71,7 @@ func testSpec(pts []geom.Vec3) render.Spec {
 // for byte.
 func singleRank(t testing.TB, pts []geom.Vec3, spec render.Spec) (*grid.Grid2D, render.OutcomeCounts) {
 	t.Helper()
-	m, err := buildMarcher(pts)
+	m, _, err := buildMarcher(pts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +395,7 @@ func TestChaosStaleStragglerResultThenLoss(t *testing.T) {
 			if _, err := c.Recv(0, tagSetup, &setup); err != nil {
 				return err
 			}
-			m, err := buildMarcher(setup.Particles)
+			m, _, err := buildMarcher(setup.Particles)
 			if err != nil {
 				return err
 			}
@@ -722,12 +722,24 @@ func BenchmarkDistRender(b *testing.B) {
 	pts := synth.HaloSet(n, box, synth.DefaultHaloSpec(), 11)
 	spec := testSpec(pts)
 	spec.Nx, spec.Ny = gridN, gridN
-	for _, ranks := range []int{1, 4, 8} {
-		b.Run("ranks="+string(rune('0'+ranks)), func(b *testing.B) {
-			cfg := Config{Spec: spec, Workers: 2, Tiles: 2 * ranks}
+	type variant struct {
+		name   string
+		ranks  int
+		gather GatherMode
+	}
+	variants := []variant{
+		{"ranks=1", 1, GatherAuto},
+		{"ranks=4/gather=flat", 4, GatherFlat},
+		{"ranks=4/gather=tree", 4, GatherTree},
+		{"ranks=8/gather=flat", 8, GatherFlat},
+		{"ranks=8/gather=tree", 8, GatherTree},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := Config{Spec: spec, Workers: 2, Tiles: 2 * v.ranks, Gather: v.gather}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err, _ := runDistributedBench(ranks, cfg, pts)
+				res, err, _ := runDistributedBench(v.ranks, cfg, pts)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,0 +1,540 @@
+// The k-ary reduction-tree gather. Rank r's tree parent is (r-1)/fanout;
+// rank 0 is the root. Workers march their statically-batched tiles and
+// stream each finished tile toward the root as a treeFrame; interior ranks
+// ingest child frames, dedupe first-wins, merge column-adjacent tiles into
+// shared span buffers (disjoint columns make the merge a pure copy, so
+// stitching stays bit-exact), and forward upward. The root stream-stitches
+// frames straight into the output grid, so gather depth is O(log_k world)
+// instead of O(tiles) at rank 0.
+//
+// Recovery protocol:
+//
+//   - Liveness per tree edge: every rank runs an epoch-aware tolerant
+//     receive (mpi.RecvTolerant), so any membership change wakes it
+//     immediately.
+//   - Re-parenting: when a rank's parent dies, it re-attaches to its
+//     nearest live ancestor (walking parent pointers toward the root,
+//     which never dies) and re-sends every unacknowledged frame. With all
+//     interior ranks dead this degrades to exactly the flat gather.
+//   - Idempotent dedupe: every merge level keeps a seen-set and drops
+//     repeated tiles first-wins; tile renders are bit-exact, so whichever
+//     copy survives is correct.
+//   - Acks are hop-local: a parent acks the tiles it ingested so the child
+//     stops re-sending to it. They are not end-to-end receipts — if an
+//     interior rank dies after acking but before forwarding, the tiles die
+//     with it, and the root's per-rank deadline re-dispatches them to a
+//     surviving rank (recomputing is safe, again because renders are
+//     bit-exact).
+//   - Straggler expiry: a rank that produces nothing for TileTimeout has
+//     the head of its outstanding share stolen and re-dispatched to the
+//     least-loaded live rank.
+//   - Fallback: with no live workers left the root marches the remainder
+//     itself (unless NoCoordinatorCompute), mirroring the flat gather.
+package distrender
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"godtfe/internal/fault"
+	"godtfe/internal/grid"
+	"godtfe/internal/mpi"
+	"godtfe/internal/render"
+)
+
+// treeParent returns rank r's parent in a k-ary tree rooted at 0.
+func treeParent(r, fanout int) int {
+	if r <= 0 {
+		return 0
+	}
+	return (r - 1) / fanout
+}
+
+// liveParent returns r's nearest live ancestor (0 if every interior
+// ancestor is dead — the root is always reachable).
+func liveParent(c *mpi.Comm, r, fanout int) int {
+	p := treeParent(r, fanout)
+	for p != 0 && !c.Alive(p) {
+		p = treeParent(p, fanout)
+	}
+	return p
+}
+
+func clampDuration(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+// coordinateTree drives the root side of the reduction tree: static
+// round-robin batches out, streamed frames in, per-rank deadlines driving
+// subtree re-dispatch.
+func coordinateTree(c *mpi.Comm, cfg Config, co *coord, dead map[int]bool, fanout int) (*Result, error) {
+	res := co.res
+	timeout := cfg.tileTimeout()
+	var coordMarcher *render.Marcher
+
+	pending := make(map[int][]int)      // rank → tiles assigned, not yet arrived
+	owner := make(map[int]int)          // tile → rank currently responsible
+	deadline := make(map[int]time.Time) // rank → progress deadline
+
+	liveRanks := func() []int {
+		var out []int
+		for r := 1; r < c.Size(); r++ {
+			if !dead[r] {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+
+	// sendBatch dispatches tiles to rank r and arms its deadline. A failed
+	// send writes the rank off; its share is redistributed by the caller
+	// via markDeadTree.
+	sendBatch := func(r int, tiles []int) bool {
+		b := assignBatch{Tiles: make([]tileMsg, 0, len(tiles))}
+		for _, k := range tiles {
+			b.Tiles = append(b.Tiles, co.msgFor(k))
+		}
+		if err := c.Send(r, tagBatch, b); err != nil {
+			return false
+		}
+		for _, k := range tiles {
+			owner[k] = r
+		}
+		pending[r] = append(pending[r], tiles...)
+		deadline[r] = time.Now().Add(timeout)
+		return true
+	}
+
+	// reassign hands one missing tile to the least-loaded live rank
+	// (excluding `not` when another candidate exists). With no live rank
+	// it stays unowned for the self-compute fallback.
+	var markDeadTree func(r int)
+	reassign := func(k, not int) {
+		for {
+			if _, ok := co.have[k]; ok {
+				return
+			}
+			live := liveRanks()
+			best := -1
+			for _, r := range live {
+				if r == not && len(live) > 1 {
+					continue
+				}
+				if best < 0 || len(pending[r]) < len(pending[best]) {
+					best = r
+				}
+			}
+			if best < 0 {
+				delete(owner, k) // self-compute fallback picks it up
+				return
+			}
+			if sendBatch(best, []int{k}) {
+				res.Redispatched++
+				return
+			}
+			markDeadTree(best) // and retry with the next-best live rank
+		}
+	}
+
+	markDeadTree = func(r int) {
+		if dead[r] {
+			return
+		}
+		dead[r] = true
+		res.Failures = append(res.Failures, fmt.Sprintf("rank %d lost: %s", r, c.RankFailure(r)))
+		orphans := pending[r]
+		delete(pending, r)
+		delete(deadline, r)
+		for _, k := range orphans {
+			reassign(k, -1)
+		}
+	}
+
+	// Initial static round-robin distribution over the live world.
+	if live := liveRanks(); len(live) > 0 {
+		shares := make(map[int][]int)
+		for k := range co.tiles {
+			r := live[k%len(live)]
+			shares[r] = append(shares[r], k)
+		}
+		for _, r := range live {
+			if tiles := shares[r]; len(tiles) > 0 {
+				if !sendBatch(r, tiles) {
+					markDeadTree(r)
+				}
+			}
+		}
+	}
+
+	epoch := c.FailureEpoch()
+	for !co.complete() {
+		for _, r := range c.FailedRanks() {
+			markDeadTree(r)
+		}
+		// Straggler expiry: a rank with outstanding tiles and no accepted
+		// progress within its deadline has its head tile stolen and
+		// re-dispatched; the remaining share gets a fresh window (either
+		// the rank is slow — its eventual duplicates are deduped — or its
+		// frames were lost, and re-dispatch elsewhere recovers them).
+		now := time.Now()
+		for r, d := range deadline {
+			if len(pending[r]) == 0 || now.Before(d) {
+				continue
+			}
+			k := pending[r][0]
+			pending[r] = pending[r][1:]
+			deadline[r] = now.Add(timeout)
+			reassign(k, r)
+		}
+		// Self-compute fallback: tiles nobody live owns.
+		if len(liveRanks()) == 0 {
+			if cfg.NoCoordinatorCompute {
+				break
+			}
+			for k := range co.tiles {
+				if _, ok := co.have[k]; !ok {
+					if err := co.selfCompute(k, &coordMarcher); err != nil {
+						return nil, err
+					}
+				}
+			}
+			break
+		}
+		// Defensive: a missing tile with no live owner (e.g. its owner was
+		// written off while no rank was live) is reassigned now.
+		for k := range co.tiles {
+			if _, ok := co.have[k]; ok {
+				continue
+			}
+			if r, ok := owner[k]; !ok || dead[r] {
+				reassign(k, -1)
+			}
+		}
+		if co.complete() {
+			break
+		}
+		// Event-driven wait until the next frame, membership change, or
+		// earliest rank deadline.
+		wait := time.Second
+		if cfg.Poll > 0 {
+			wait = cfg.Poll
+		}
+		now = time.Now()
+		for r, d := range deadline {
+			if len(pending[r]) == 0 {
+				continue
+			}
+			if rem := d.Sub(now); rem < wait {
+				wait = rem
+			}
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		msg, ep, err := c.RecvTolerant([]int{tagFrame, tagResult}, epoch, wait)
+		epoch = ep
+		if err != nil {
+			if errors.Is(err, mpi.ErrTimeout) || errors.Is(err, mpi.ErrWorldChanged) {
+				continue
+			}
+			return nil, fmt.Errorf("distrender: tree gather: %w", err)
+		}
+		cleared := func(tile, rank int) {
+			r, ok := owner[tile]
+			if !ok {
+				return
+			}
+			pending[r] = removeTile(pending[r], tile)
+			delete(owner, tile)
+			// Progress evidence: the owning rank's whole share gets a
+			// fresh deadline window.
+			if !dead[r] {
+				deadline[r] = time.Now().Add(timeout)
+			}
+		}
+		if msg.Tag == tagFrame {
+			ingestFrame(c, co, msg, cleared)
+			continue
+		}
+		// A flat-protocol result (defensive mode-mixing): ingest it too.
+		var r tileResult
+		if derr := msg.Decode(&r); derr != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("tree gather decode: %s", derr))
+			continue
+		}
+		if co.accept(r, r.Grid, gi0For(co, r.Tile)) {
+			cleared(r.Tile, r.Rank)
+		}
+	}
+
+	for r := 1; r < c.Size(); r++ {
+		if !dead[r] && c.Alive(r) {
+			_ = c.Send(r, tagBatch, assignBatch{Shutdown: true})
+		}
+	}
+	return co.finalize()
+}
+
+func removeTile(s []int, k int) []int {
+	for i, v := range s {
+		if v == k {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// workTree is every non-root rank's tree-mode loop: march the assigned
+// batch, ingest and relay child frames, stream everything to the current
+// live parent, and keep re-sending until acked or shut down.
+func workTree(c *mpi.Comm, cfg Config, setup setupMsg) error {
+	me := c.Rank()
+	fanout := setup.Fanout
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	retry := clampDuration(cfg.tileTimeout()/4, 25*time.Millisecond, 2*time.Second)
+
+	var marcher *render.Marcher
+	var todo []tileMsg
+	pending := make(map[int]tileResult) // tiles unacked by the parent (grids held)
+	sentAt := make(map[int]time.Time)   // last upward send per pending tile
+	seen := make(map[int]bool)          // every tile ever ingested here (first-wins)
+	parent := liveParent(c, me, fanout)
+	epoch := c.FailureEpoch()
+	marched, relayed := 0, 0
+
+	// flush streams pending tiles to the parent: those never sent, those
+	// whose last send has gone stale (lost frame or lost ack), and — when
+	// force is set (re-parenting) — everything.
+	flush := func(force bool) error {
+		now := time.Now()
+		var due []tileResult
+		for k, r := range pending {
+			if force || sentAt[k].IsZero() || now.Sub(sentAt[k]) >= retry {
+				due = append(due, r)
+			}
+		}
+		if len(due) == 0 {
+			return nil
+		}
+		if cfg.Fault != nil && cfg.Fault.ShouldCrash(me, fault.PointRelay, relayed) {
+			return fault.Crashed(me, fault.PointRelay, relayed)
+		}
+		frame := buildFrame(due, setup.Spec, setup.Tiles)
+		if err := c.Send(parent, tagFrame, frame); err != nil {
+			if errors.Is(err, mpi.ErrMessageLost) {
+				return nil // retry timer re-sends
+			}
+			return err
+		}
+		relayed++
+		for _, r := range due {
+			sentAt[r.Tile] = now
+		}
+		return nil
+	}
+
+	ingest := func(r tileResult) {
+		if seen[r.Tile] {
+			return
+		}
+		seen[r.Tile] = true
+		pending[r.Tile] = r
+	}
+
+	for {
+		var timeout time.Duration
+		switch {
+		case len(todo) > 0:
+			timeout = 0 // drain queued messages, then march
+		case len(pending) > 0:
+			timeout = retry
+		default:
+			timeout = -1 // idle: pure block, zero CPU
+		}
+		msg, ep, err := c.RecvTolerant([]int{tagBatch, tagFrame, tagAck}, epoch, timeout)
+		if err != nil {
+			switch {
+			case errors.Is(err, mpi.ErrWorldChanged):
+				epoch = ep
+				if !c.Alive(0) {
+					return nil // coordinator gone; render is over
+				}
+				if np := liveParent(c, me, fanout); np != parent {
+					// Orphaned subtree: re-attach to the nearest live
+					// ancestor and re-send everything unacknowledged.
+					parent = np
+					if err := flush(true); err != nil {
+						return err
+					}
+				}
+			case errors.Is(err, mpi.ErrTimeout):
+				if len(todo) > 0 {
+					m := todo[0]
+					todo = todo[1:]
+					if cfg.Fault != nil && cfg.Fault.ShouldCrash(me, fault.PointTile, marched) {
+						return fault.Crashed(me, fault.PointTile, marched)
+					}
+					if !m.Subset && marcher == nil {
+						mm, _, err := buildMarcher(setup.Particles)
+						if err != nil {
+							return err
+						}
+						marcher = mm
+					}
+					start := time.Now()
+					r, err := marchTile(cfg, marcher, m)
+					if err != nil {
+						return err
+					}
+					if cfg.Fault != nil {
+						cfg.Fault.StraggleSleep(me, time.Since(start))
+					}
+					r.Rank = me
+					marched++
+					ingest(r)
+				}
+				if err := flush(false); err != nil {
+					return err
+				}
+			default:
+				return err
+			}
+			continue
+		}
+		epoch = ep
+		switch msg.Tag {
+		case tagBatch:
+			var b assignBatch
+			if err := msg.Decode(&b); err != nil {
+				continue // the root's deadline re-dispatch recovers the batch
+			}
+			if b.Shutdown {
+				return nil
+			}
+			todo = append(todo, b.Tiles...)
+		case tagFrame:
+			var f treeFrame
+			if err := msg.Decode(&f); err != nil {
+				continue // sender re-sends; persistent corruption falls to the root deadline
+			}
+			ack := frameAck{Tiles: make([]int, 0, len(f.Tiles))}
+			for _, tf := range f.Tiles {
+				ack.Tiles = append(ack.Tiles, tf.Tile)
+				if tf.Tile < 0 || tf.Tile >= len(setup.Tiles) || seen[tf.Tile] {
+					continue
+				}
+				r := tileResult{
+					Tile: tf.Tile, Rank: tf.Rank, Err: tf.Err, Certified: tf.Certified,
+					GuardL: tf.GuardL, GuardR: tf.GuardR, Stats: tf.Stats,
+				}
+				if r.Err == "" {
+					ti := setup.Tiles[tf.Tile]
+					span, gi0 := findSpan(f.Spans, tf.I0, tf.I1)
+					if span == nil || tf.I0 != ti.I0 || tf.I1 != ti.I1 || span.Ny != setup.Spec.Ny {
+						continue // malformed: don't ingest; root deadline recovers
+					}
+					r.Grid = extractColumns(span, gi0, tf.I0, tf.I1, setup.Spec)
+				}
+				ingest(r)
+			}
+			_ = c.Send(msg.Src, tagAck, ack)
+			if err := flush(false); err != nil {
+				return err
+			}
+		case tagAck:
+			var a frameAck
+			if err := msg.Decode(&a); err != nil {
+				continue
+			}
+			for _, k := range a.Tiles {
+				delete(pending, k)
+				delete(sentAt, k)
+			}
+		}
+	}
+}
+
+// tileWithSpan pairs a pending tile result with its owned global column
+// span.
+type tileWithSpan struct {
+	res tileResult
+	i0  int
+	i1  int
+}
+
+// buildFrame packages pending tile results as one treeFrame: healthy tiles
+// sorted by first column, column-adjacent runs merged into a single span
+// buffer (a pure copy — the columns are disjoint), failed tiles carried as
+// metadata only. tiles is the authoritative tiling from setup.
+func buildFrame(due []tileResult, spec render.Spec, tiles []render.Tile) treeFrame {
+	var frame treeFrame
+	var healthy []tileWithSpan
+	for _, r := range due {
+		tf := tileFrame{
+			Tile: r.Tile, Rank: r.Rank, Err: r.Err, Certified: r.Certified,
+			GuardL: r.GuardL, GuardR: r.GuardR, Stats: r.Stats,
+		}
+		if r.Err == "" && r.Grid != nil && r.Tile >= 0 && r.Tile < len(tiles) {
+			t := tiles[r.Tile]
+			tf.I0, tf.I1 = t.I0, t.I1
+			healthy = append(healthy, tileWithSpan{res: r, i0: t.I0, i1: t.I1})
+		}
+		frame.Tiles = append(frame.Tiles, tf)
+	}
+	sort.Slice(healthy, func(a, b int) bool { return healthy[a].i0 < healthy[b].i0 })
+	for i := 0; i < len(healthy); {
+		j := i + 1
+		for j < len(healthy) && healthy[j].i0 == healthy[j-1].i1 {
+			j++
+		}
+		if j == i+1 {
+			// Single-tile run: ship the grid as-is, no copy.
+			frame.Spans = append(frame.Spans, gridSpan{I0: healthy[i].i0, Grid: healthy[i].res.Grid})
+		} else {
+			span := mergeRun(healthy[i:j], spec)
+			frame.Spans = append(frame.Spans, gridSpan{I0: healthy[i].i0, Grid: span})
+		}
+		i = j
+	}
+	return frame
+}
+
+// mergeRun concatenates a column-adjacent run of tile grids into one span
+// buffer.
+func mergeRun(run []tileWithSpan, spec render.Spec) *grid.Grid2D {
+	i0, i1 := run[0].i0, run[len(run)-1].i1
+	min := spec.Min
+	min.X += float64(i0) * spec.Cell
+	out := grid.NewGrid2D(i1-i0, spec.Ny, min, spec.Cell)
+	for _, t := range run {
+		g := t.res.Grid
+		off := t.i0 - i0
+		for j := 0; j < g.Ny; j++ {
+			copy(out.Data[j*out.Nx+off:j*out.Nx+off+g.Nx], g.Data[j*g.Nx:(j+1)*g.Nx])
+		}
+	}
+	return out
+}
+
+// extractColumns copies global columns [i0, i1) out of a span buffer whose
+// first column is gi0.
+func extractColumns(span *grid.Grid2D, gi0, i0, i1 int, spec render.Spec) *grid.Grid2D {
+	min := spec.Min
+	min.X += float64(i0) * spec.Cell
+	out := grid.NewGrid2D(i1-i0, span.Ny, min, spec.Cell)
+	off := i0 - gi0
+	for j := 0; j < span.Ny; j++ {
+		copy(out.Data[j*out.Nx:(j+1)*out.Nx], span.Data[j*span.Nx+off:j*span.Nx+off+out.Nx])
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package vtime
+
+// Virtual-time model of the reduction-tree gather (the
+// internal/render/distrender tree mode). Rank r's parent is (r-1)/fanout;
+// every non-root rank both marches its statically-batched tiles and relays
+// its children's frames upward, coalescing whatever is pending into one
+// frame per flush. The coordinator's serial cost therefore scales with the
+// number of FRAMES it ingests — bounded by its own fanout and the relay
+// cadence, not by the tile count — plus a per-tile stitch that is a pure
+// memory copy. That is the term that removes the flat gather's saturation
+// floor: protocol overhead per tile becomes protocol overhead per frame,
+// amortized log-deep, leaving output-grid memory bandwidth as the honest
+// remaining ceiling.
+
+import "sort"
+
+// TreeDistRenderConfig configures a strong-scaling evaluation of the
+// reduction-tree distributed render.
+type TreeDistRenderConfig struct {
+	DistRenderConfig
+	// Fanout is the tree arity (4 when 0, matching distrender).
+	Fanout int
+	// MergePerTile is the interior-rank cost to copy one tile into a
+	// merged span buffer (memory bandwidth, not protocol); defaults to
+	// StitchPerTile.
+	MergePerTile float64
+}
+
+// TreeDistRenderOutcome extends the flat outcome with tree shape metrics.
+type TreeDistRenderOutcome struct {
+	DistRenderOutcome
+	// RootFrames is the number of frames the coordinator ingested — the
+	// quantity that replaces "tiles" in the coordinator's serial cost.
+	RootFrames int
+	// Depth is the deepest leaf-to-root hop count.
+	Depth int
+}
+
+// frame is one upward message: count tiles arriving at a node at a time.
+type frame struct {
+	arrive float64
+	count  int
+}
+
+// SimulateTreeDistRender evaluates the reduction-tree schedule. Tiles are
+// statically round-robined over the workers; each worker marches its batch
+// sequentially, flushing completed tiles to its tree parent after every
+// march; interior ranks serialize child-frame ingest, merge, and relay on
+// the same clock as their own marching, coalescing everything pending into
+// one frame per flush — exactly the adaptive batching the real workTree
+// loop performs. Worlds too small for a tree (< 4 ranks) fall back to the
+// flat simulation, mirroring gatherTopology.
+func SimulateTreeDistRender(cfg TreeDistRenderConfig) TreeDistRenderOutcome {
+	if cfg.Ranks < 4 {
+		return TreeDistRenderOutcome{
+			DistRenderOutcome: SimulateDistRender(cfg.DistRenderConfig),
+			Depth:             1,
+		}
+	}
+	fanout := cfg.Fanout
+	if fanout <= 1 {
+		fanout = 4
+	}
+	merge := cfg.MergePerTile
+	if merge == 0 {
+		merge = cfg.StitchPerTile
+	}
+	R := cfg.Ranks
+	workers := R - 1
+	out := TreeDistRenderOutcome{
+		DistRenderOutcome: DistRenderOutcome{Ranks: R, Tiles: len(cfg.TileCosts)},
+	}
+
+	// Static round-robin batches, matching coordinateTree's initial
+	// distribution over the live world.
+	batch := make([][]float64, R)
+	for k, c := range cfg.TileCosts {
+		r := 1 + k%workers
+		batch[r] = append(batch[r], c)
+		out.WorkBusy += c
+	}
+
+	// Batch scatter: one assignment message per rank with work, serialized
+	// on the coordinator (vs one per tile in the flat model; ranks beyond
+	// the tile count get nothing, like coordinateTree's share loop).
+	coord := 0.0
+	arriveBatch := make([]float64, R)
+	for r := 1; r < R; r++ {
+		if len(batch[r]) == 0 {
+			continue
+		}
+		coord += cfg.Comm.SendOverhead
+		out.CoordBusy += cfg.Comm.SendOverhead
+		arriveBatch[r] = coord + cfg.Comm.Transit(cfg.AssignBytes*int64(len(batch[r])+1))
+	}
+
+	// Upward frame streams. Rank r's parent (r-1)/fanout is always a
+	// smaller index, so processing ranks highest-first guarantees every
+	// child's frames exist before its parent is simulated.
+	incoming := make([][]frame, R)
+	for r := R - 1; r >= 1; r-- {
+		frames := incoming[r]
+		sort.Slice(frames, func(a, b int) bool { return frames[a].arrive < frames[b].arrive })
+		tiles := batch[r]
+		clock := cfg.SetupCost
+		if arriveBatch[r] > clock {
+			clock = arriveBatch[r]
+		}
+		parent := (r - 1) / fanout
+		pending := 0
+		flush := func() {
+			if pending == 0 {
+				return
+			}
+			clock += cfg.Comm.SendOverhead
+			incoming[parent] = append(incoming[parent], frame{
+				arrive: clock + cfg.Comm.Transit(int64(pending)*cfg.ResultBytes),
+				count:  pending,
+			})
+			pending = 0
+		}
+		for len(tiles) > 0 || len(frames) > 0 || pending > 0 {
+			// Drain arrived child frames first, like the worker loop's
+			// zero-timeout receive between marches.
+			if len(frames) > 0 && frames[0].arrive <= clock {
+				f := frames[0]
+				frames = frames[1:]
+				clock += cfg.Comm.SendOverhead + float64(f.count)*merge
+				pending += f.count
+				continue
+			}
+			switch {
+			case len(tiles) > 0:
+				clock += tiles[0]
+				tiles = tiles[1:]
+				pending++
+			case pending == 0:
+				clock = frames[0].arrive // idle: block until the next frame
+				continue
+			}
+			flush()
+		}
+	}
+
+	// Root: ingest frames in arrival order, serialized with the tail of
+	// the scatter; each frame costs one protocol overhead plus a per-tile
+	// stitch copy.
+	frames := incoming[0]
+	sort.Slice(frames, func(a, b int) bool { return frames[a].arrive < frames[b].arrive })
+	clock := coord
+	stitched := 0
+	for _, f := range frames {
+		if f.arrive > clock {
+			clock = f.arrive
+		}
+		cost := cfg.Comm.SendOverhead + float64(f.count)*cfg.StitchPerTile
+		clock += cost
+		out.CoordBusy += cost
+		out.RootFrames++
+		stitched += f.count
+	}
+	if stitched != len(cfg.TileCosts) {
+		// Conservation violated — make the failure loud in any consumer.
+		out.Makespan = -1
+		return out
+	}
+	out.Makespan = clock
+	for r := 1; r < R; r++ {
+		d := 0
+		for p := r; p != 0; p = (p - 1) / fanout {
+			d++
+		}
+		if d > out.Depth {
+			out.Depth = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package vtime
+
+import (
+	"math"
+	"testing"
+)
+
+func treeCfg(ranks, tiles, fanout int, tileCost float64) TreeDistRenderConfig {
+	costs := make([]float64, tiles)
+	for i := range costs {
+		costs[i] = tileCost
+	}
+	return TreeDistRenderConfig{
+		DistRenderConfig: DistRenderConfig{
+			Ranks: ranks,
+			Comm:  CommModel{Latency: 1e-5, BytesPerSec: 1e9, SendOverhead: 1e-4},
+			TileCosts: costs, AssignBytes: 64, ResultBytes: 1 << 16,
+			SetupCost: 0.05,
+			// The stitch is a memory copy, not a protocol round-trip: two
+			// orders cheaper than SendOverhead. The flat gather pays
+			// SendOverhead per tile regardless; the tree pays it per frame.
+			StitchPerTile: 1e-6,
+		},
+		Fanout: fanout,
+	}
+}
+
+// TestTreeDistRenderSmallWorldFallsBack: worlds below the tree threshold
+// delegate to the flat model, mirroring distrender's gatherTopology.
+func TestTreeDistRenderSmallWorldFallsBack(t *testing.T) {
+	cfg := treeCfg(2, 16, 2, 1e-2)
+	tree := SimulateTreeDistRender(cfg)
+	flat := SimulateDistRender(cfg.DistRenderConfig)
+	if tree.Makespan != flat.Makespan || tree.CoordBusy != flat.CoordBusy {
+		t.Fatalf("2-rank tree %+v diverges from flat %+v", tree.DistRenderOutcome, flat)
+	}
+	if tree.Depth != 1 {
+		t.Fatalf("fallback depth %d, want 1", tree.Depth)
+	}
+}
+
+// TestTreeDistRenderDepth pins the k-ary depth: with parent (r-1)/fanout
+// the deepest hop count is ceil(log_fanout((fanout-1)*(R-1)/fanout + 1)).
+func TestTreeDistRenderDepth(t *testing.T) {
+	cases := []struct{ ranks, fanout, depth int }{
+		{5, 4, 1},
+		{6, 4, 2},
+		{8, 2, 3},
+		{21, 4, 2},
+		{22, 4, 3},
+		{16384, 4, 7},
+	}
+	for _, tc := range cases {
+		out := SimulateTreeDistRender(treeCfg(tc.ranks, 64, tc.fanout, 1e-3))
+		if out.Depth != tc.depth {
+			t.Errorf("ranks=%d fanout=%d depth %d, want %d", tc.ranks, tc.fanout, out.Depth, tc.depth)
+		}
+	}
+}
+
+// TestTreeDistRenderConservation: every tile is stitched exactly once and
+// WorkBusy reflects the whole marched load.
+func TestTreeDistRenderConservation(t *testing.T) {
+	cfg := treeCfg(37, 200, 3, 2e-3)
+	out := SimulateTreeDistRender(cfg)
+	if out.Makespan <= 0 {
+		t.Fatalf("makespan %v (negative means lost tiles)", out.Makespan)
+	}
+	if out.Tiles != 200 {
+		t.Fatalf("tiles %d, want 200", out.Tiles)
+	}
+	if want := 200 * 2e-3; math.Abs(out.WorkBusy-want) > 1e-9 {
+		t.Fatalf("work busy %v, want %v", out.WorkBusy, want)
+	}
+	if out.RootFrames < 1 || out.RootFrames > 200 {
+		t.Fatalf("root frames %d out of range", out.RootFrames)
+	}
+}
+
+// TestTreeRemovesGatherFloor: on a protocol-bound workload the flat gather
+// saturates at tiles x SendOverhead serialized on the coordinator; the tree
+// coalesces tiles into frames on the way up, so the coordinator's protocol
+// cost scales with its frame count, far below the tile count.
+func TestTreeRemovesGatherFloor(t *testing.T) {
+	const ranks, tiles = 1024, 4096
+	cfg := treeCfg(ranks, tiles, 4, 1e-3)
+	flat := SimulateDistRender(cfg.DistRenderConfig)
+	tree := SimulateTreeDistRender(cfg)
+
+	floor := float64(tiles) * cfg.Comm.SendOverhead
+	if flat.Makespan < floor {
+		t.Fatalf("flat makespan %v below its own serialization floor %v", flat.Makespan, floor)
+	}
+	if tree.Makespan >= floor/2 {
+		t.Fatalf("tree makespan %v did not break the flat floor %v", tree.Makespan, floor)
+	}
+	if tree.Makespan >= flat.Makespan/3 {
+		t.Fatalf("tree makespan %v vs flat %v: expected >3x win", tree.Makespan, flat.Makespan)
+	}
+	if tree.RootFrames > tiles/10 {
+		t.Fatalf("root ingested %d frames for %d tiles — coalescing is not happening", tree.RootFrames, tiles)
+	}
+	// The coordinator's protocol busy-time must be frame-bound, not
+	// tile-bound: scatter (one batch per rank) + per-frame ingest.
+	protocol := tree.CoordBusy - float64(tiles)*cfg.StitchPerTile
+	budget := float64(ranks+10*tree.RootFrames) * cfg.Comm.SendOverhead
+	if protocol > budget {
+		t.Fatalf("coordinator protocol time %v exceeds frame-bound budget %v", protocol, budget)
+	}
+}
