@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race chaos bench bench-smoke bench-predicates fuzz nopanic ci
+.PHONY: build test tier1 vet race chaos serve-smoke bench bench-smoke bench-predicates fuzz nopanic ci
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ vet:
 # concurrent point location, and the shared predicate counters/oracle
 # switch in geom) under the race detector.
 race:
-	$(GO) test -race ./internal/mpi/... ./internal/pipeline/... ./internal/render/... ./internal/delaunay/... ./internal/geom/...
+	$(GO) test -race ./internal/mpi/... ./internal/pipeline/... ./internal/render/... ./internal/delaunay/... ./internal/geom/... ./internal/fieldserve/... ./internal/fault/... ./internal/vtime/...
 
 # Fault-injection suites under the race detector: interior-rank death in
 # the reduction tree, cascading failures, dropped/duplicated frames,
@@ -30,13 +30,19 @@ chaos:
 	$(GO) test -race -timeout 180s -run 'Chaos|Fault|Recover|Crash|Straggler|Tolerant|Attribution|Tree' \
 		./internal/mpi/... ./internal/fault/... ./internal/pipeline/... ./internal/render/distrender/...
 
+# Overload smoke: the resident field service at 2x capacity under the
+# race detector — the real service (bounded queue, shedding, degrade
+# ladder, goroutine-leak check) plus the million-request virtual-time
+# load generator with its bounded-p99 and nonzero-shed assertions.
+serve-smoke:
+	$(GO) test -race -timeout 300s -run 'OverloadSmoke' ./internal/fieldserve/ ./internal/vtime/
+
 # Regression benchmarks: run the kernel/entry/codec/build/predicate/
-# distributed-render suite
-# and write BENCH_PR5.json with ns/op, allocs/op, and speedup ratios
-# against the checked-in pre-optimization baseline in
-# bench/baseline_pr5.json.
+# distributed-render/field-service suite
+# and write BENCH_PR7.json with ns/op, allocs/op, and speedup ratios
+# against the checked-in baseline in bench/baseline_pr7.json.
 bench:
-	$(GO) run ./cmd/dtfe-bench -out BENCH_PR5.json -baseline bench/baseline_pr5.json
+	$(GO) run ./cmd/dtfe-bench -out BENCH_PR7.json -baseline bench/baseline_pr7.json
 
 # Forced-exact predicate microbenchmarks only: the quickest check that a
 # predicates change kept the fallback path fast and allocation-free.
@@ -60,10 +66,10 @@ fuzz:
 # The hardened layers (geometry, ingestion, render) must stay panic-free:
 # every failure goes through the geomerr taxonomy instead.
 nopanic:
-	@bad=$$(grep -n 'panic(' internal/delaunay/*.go internal/particleio/*.go internal/render/*.go | grep -v _test.go || true); \
+	@bad=$$(grep -n 'panic(' internal/delaunay/*.go internal/particleio/*.go internal/render/*.go internal/fieldserve/*.go | grep -v _test.go || true); \
 	if [ -n "$$bad" ]; then \
 		echo "panic() found in hardened production code:"; echo "$$bad"; exit 1; \
 	fi
 	@echo "nopanic: clean"
 
-ci: tier1 vet nopanic race chaos bench-smoke fuzz
+ci: tier1 vet nopanic race chaos serve-smoke bench-smoke fuzz

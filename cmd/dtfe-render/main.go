@@ -18,6 +18,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -49,6 +51,7 @@ func main() {
 	halo := flag.Float64("halo", 0, "subset halo width for -ranks > 1 (0: replicate the catalog)")
 	gather := flag.String("gather", "auto", "result gather for -ranks > 1: auto | flat | tree")
 	fanout := flag.Int("fanout", 0, "reduction-tree arity for -gather tree/auto (default 4)")
+	deadline := flag.Duration("deadline", 0, "abort a distributed render after this long (0: no deadline)")
 	flag.Parse()
 
 	policy, err := particleio.ParsePolicy(*ingest)
@@ -97,7 +100,7 @@ func main() {
 	switch *kernel {
 	case "marching":
 		if *ranks > 1 {
-			g, stats, err = distributedRender(spec, pts, *ranks, *tiles, *workers, *halo, *gather, *fanout)
+			g, stats, err = distributedRender(spec, pts, *ranks, *tiles, *workers, *halo, *gather, *fanout, *deadline)
 			break
 		}
 		g, stats, err = render.NewMarcher(field).Render(spec, *workers, render.ScheduleDynamic)
@@ -138,7 +141,10 @@ func main() {
 
 // distributedRender fans the marching render out over an in-process MPI
 // world and returns the stitched grid with globally re-based worker stats.
-func distributedRender(spec render.Spec, pts []geom.Vec3, ranks, tiles, workers int, halo float64, gather string, fanout int) (*grid.Grid2D, []render.WorkerStat, error) {
+// A non-zero deadline bounds the whole render: when it passes, the
+// coordinator cancels the run, drains the workers, and the typed
+// cancellation error is reported with the partial-progress accounting.
+func distributedRender(spec render.Spec, pts []geom.Vec3, ranks, tiles, workers int, halo float64, gather string, fanout int, deadline time.Duration) (*grid.Grid2D, []render.WorkerStat, error) {
 	var mode distrender.GatherMode
 	switch gather {
 	case "auto":
@@ -154,20 +160,40 @@ func distributedRender(spec render.Spec, pts []geom.Vec3, ranks, tiles, workers 
 		Spec: spec, Tiles: tiles, Workers: workers, Halo: halo,
 		Gather: mode, Fanout: fanout,
 	}
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
 	var res *distrender.Result
 	var resErr error
 	w := mpi.NewWorld(ranks)
 	errs := w.RunEach(func(c *mpi.Comm) error {
 		catalog := pts
+		rctx := context.Background()
 		if c.Rank() != 0 {
 			catalog = nil
+		} else {
+			rctx = ctx
 		}
-		r, err := distrender.Run(c, cfg, catalog)
+		r, err := distrender.RunCtx(rctx, c, cfg, catalog)
 		if c.Rank() == 0 {
 			res, resErr = r, err
 		}
 		return err
 	})
+	var ce *distrender.CancelledError
+	if errors.As(resErr, &ce) {
+		fmt.Printf("deadline exceeded after %v: %d/%d tiles stitched, %d lost\n",
+			deadline, ce.Done, ce.Total, ce.Total-ce.Done)
+		if res != nil {
+			for _, f := range res.Failures {
+				fmt.Printf("  %s\n", f)
+			}
+		}
+		return nil, nil, resErr
+	}
 	if resErr != nil {
 		return nil, nil, resErr
 	}

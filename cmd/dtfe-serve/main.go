@@ -1,0 +1,254 @@
+// Command dtfe-serve runs the resident field service end to end: it
+// registers a particle catalog (read from -i, or synthesized), then
+// drives an open-loop request load through the service and reports
+// latency percentiles, throughput, cache hit rate, shed rate, and
+// degraded serves. The offered load defaults to 2× the measured render
+// capacity, so the default run demonstrates admission control and
+// graceful degradation under overload.
+//
+// Usage:
+//
+//	dtfe-serve -particles 20000 -grid 64 -requests 2000
+//	dtfe-serve -sim -requests 1000000
+//
+// With -sim the same open-loop generator runs against the virtual-time
+// model of the service (internal/vtime), which scales to millions of
+// requests deterministically; without it, real renders are served from
+// an in-process fieldserve.Service.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"godtfe/internal/fault"
+	"godtfe/internal/fieldserve"
+	"godtfe/internal/geom"
+	"godtfe/internal/particleio"
+	"godtfe/internal/render"
+	"godtfe/internal/synth"
+	"godtfe/internal/vtime"
+)
+
+func main() {
+	in := flag.String("i", "", "input particle file (default: synthesize -particles halo particles)")
+	particles := flag.Int("particles", 20000, "synthetic catalog size when -i is empty")
+	gridN := flag.Int("grid", 64, "request grid resolution (NxN)")
+	specs := flag.Int("specs", 8, "distinct specs in the request mix (jitter seeds)")
+	requests := flag.Int("requests", 2000, "total requests to offer (default 1000000 with -sim)")
+	rate := flag.Float64("rate", 0, "offered load in requests/sec (0: 2x measured capacity)")
+	workers := flag.Int("workers", 2, "serving workers")
+	queue := flag.Int("queue", 0, "admission queue depth (0: 2x workers)")
+	cache := flag.Int("cache", 64, "LRU cache entries")
+	degrade := flag.Int("degrade", 2, "max degrade ladder depth")
+	seed := flag.Int64("seed", 1, "seed for synthesis and fault injection")
+	cancelProb := flag.Float64("cancel-prob", 0, "per-request probability of a mid-flight cancellation")
+	slowProb := flag.Float64("slow-prob", 0, "per-request probability of a slow client")
+	poisonProb := flag.Float64("poison-prob", 0, "per-fill probability of cache poisoning")
+	sim := flag.Bool("sim", false, "run the virtual-time model instead of real renders")
+	flag.Parse()
+
+	var inj *fault.Injector
+	if *cancelProb > 0 || *slowProb > 0 || *poisonProb > 0 {
+		inj = fault.New(fault.Plan{
+			Seed:            *seed,
+			SlowClientProb:  *slowProb,
+			SlowClientDelay: 5 * time.Millisecond,
+			CancelProb:      *cancelProb,
+			CancelAfter:     2 * time.Millisecond,
+			PoisonProb:      *poisonProb,
+		})
+	}
+
+	if *sim {
+		n := *requests
+		if n == 2000 { // flag default; the sim scales much further
+			n = 1_000_000
+		}
+		runSim(n, *rate, *workers, *queue, *cache, *seed, inj)
+		return
+	}
+	runReal(*in, *particles, *gridN, *specs, *requests, *rate,
+		*workers, *queue, *cache, *degrade, *seed, inj)
+}
+
+func runSim(requests int, rate float64, workers, queue, cache int, seed int64, inj *fault.Injector) {
+	if workers <= 0 {
+		workers = 2
+	}
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	cfg := vtime.FieldServeConfig{
+		Workers:        workers,
+		QueueDepth:     queue,
+		CacheEntries:   cache,
+		Requests:       requests,
+		SpecPool:       4096,
+		RenderCost:     0.01,
+		HitCost:        0.0001,
+		BuildCost:      0.5,
+		DegradeHitFrac: 0.25,
+		Seed:           seed,
+		Fault:          inj,
+	}
+	if rate <= 0 {
+		rate = 2 * float64(cfg.Workers) / cfg.RenderCost
+	}
+	cfg.ArrivalRate = rate
+	t0 := time.Now()
+	out := vtime.SimulateFieldServe(cfg)
+	fmt.Printf("sim: %d requests at %.0f/s offered (%d workers, queue %d, cache %d)\n",
+		requests, rate, cfg.Workers, cfg.QueueDepth, cfg.CacheEntries)
+	fmt.Printf("served %d (%.1f/s virtual), shed %d (rate %.3f), degraded %d, expired %d, deduped %d\n",
+		out.Served, out.Throughput, out.Shed, out.ShedRate, out.Degraded, out.Expired, out.Deduped)
+	fmt.Printf("latency p50 %.2fms p99 %.2fms max %.2fms, hit rate %.3f, poisoned %d, builds %d\n",
+		out.P50*1e3, out.P99*1e3, out.Max*1e3, out.HitRate, out.Poisoned, out.Builds)
+	fmt.Printf("virtual makespan %.2fs simulated in %v\n", out.Makespan, time.Since(t0).Round(time.Millisecond))
+}
+
+func runReal(in string, particles, gridN, specPool, requests int, rate float64,
+	workers, queue, cache, degrade int, seed int64, inj *fault.Injector) {
+	var pts []geom.Vec3
+	if in != "" {
+		var err error
+		pts, _, err = particleio.ReadAllValidated(in, particleio.ValidateOptions{})
+		if err != nil {
+			log.Fatalf("read: %v", err)
+		}
+	} else {
+		box := geom.AABB{Min: geom.Vec3{}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+		pts = synth.HaloSet(particles, box, synth.DefaultHaloSpec(), seed)
+	}
+	box := geom.BoundsOf(pts)
+	sz := box.Size()
+	cell := sz.X / float64(gridN)
+	baseSpec := render.Spec{
+		Min: geom.Vec2{X: box.Min.X, Y: box.Min.Y},
+		Nx:  gridN, Ny: gridN, Cell: cell,
+		Samples: 1,
+	}
+
+	s := fieldserve.New(fieldserve.Options{
+		Workers: workers, QueueDepth: queue, CacheEntries: cache,
+		MaxDegrade: degrade, Fault: inj,
+	})
+	defer s.Close()
+	if err := s.Register("catalog", pts); err != nil {
+		log.Fatalf("register: %v", err)
+	}
+
+	specAt := func(i int) render.Spec {
+		sp := baseSpec
+		sp.Seed = int64(i % specPool)
+		return sp
+	}
+
+	// Calibrate: first request pays the mesh build; second measures a
+	// cold render, which sets the default offered load at 2× capacity.
+	t0 := time.Now()
+	if _, err := s.Serve(context.Background(), fieldserve.Request{Catalog: "catalog", Spec: specAt(0)}); err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	buildTime := time.Since(t0)
+	t0 = time.Now()
+	if _, err := s.Serve(context.Background(), fieldserve.Request{Catalog: "catalog", Spec: specAt(1)}); err != nil {
+		log.Fatalf("calibrate: %v", err)
+	}
+	renderTime := time.Since(t0)
+	if rate <= 0 {
+		rate = 2 * float64(workers) / renderTime.Seconds()
+	}
+	fmt.Printf("catalog: %d particles, build+first render %v, cold render %v\n",
+		len(pts), buildTime.Round(time.Millisecond), renderTime.Round(time.Microsecond))
+	fmt.Printf("offering %d requests at %.0f/s (%d workers, %d specs of %dx%d)\n",
+		requests, rate, workers, specPool, gridN, gridN)
+
+	// Open loop: arrivals on a fixed clock, regardless of completions.
+	var (
+		wg                             sync.WaitGroup
+		mu                             sync.Mutex
+		lats                           []time.Duration
+		served, shed, degraded, failed int
+		cancelled                      int
+	)
+	interarrival := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		next := start.Add(time.Duration(i) * interarrival)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if inj != nil {
+				v := inj.RequestVerdict(uint64(i))
+				if v.SlowClient {
+					time.Sleep(v.Delay)
+				}
+				if v.Cancel {
+					cctx, cancel := context.WithTimeout(ctx, v.CancelAfter)
+					defer cancel()
+					ctx = cctx
+				}
+			}
+			t := time.Now()
+			resp, err := s.Serve(ctx, fieldserve.Request{Catalog: "catalog", Spec: specAt(i)})
+			el := time.Since(t)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil && resp.Degraded:
+				degraded++
+				served++
+				lats = append(lats, el)
+			case err == nil:
+				served++
+				lats = append(lats, el)
+			case errors.Is(err, fieldserve.ErrOverloaded):
+				shed++
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				cancelled++
+			default:
+				failed++
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	st := s.Stats()
+	fmt.Printf("wall %v: served %d (%.1f/s), shed %d (rate %.3f), degraded %d, cancelled %d, failed %d\n",
+		wall.Round(time.Millisecond), served, float64(served)/wall.Seconds(),
+		shed, float64(shed)/float64(requests), degraded, cancelled, failed)
+	fmt.Printf("latency p50 %v p99 %v max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond), pct(1).Round(time.Microsecond))
+	hitRate := 0.0
+	if hm := st.CacheHits + st.CacheMiss; hm > 0 {
+		hitRate = float64(st.CacheHits) / float64(hm)
+	}
+	fmt.Printf("cache: hit rate %.3f (%d hits, %d misses), %d evicted, %d poisoned, %d deduped, %d builds\n",
+		hitRate, st.CacheHits, st.CacheMiss, st.Evicted, st.Poisoned, st.Deduped, st.Builds)
+	if failed > 0 {
+		log.Fatalf("%d requests failed unexpectedly", failed)
+	}
+}

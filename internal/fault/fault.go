@@ -76,6 +76,35 @@ type Plan struct {
 	// MaxStraggleSleep caps a single injected straggler sleep.
 	// Default 250ms.
 	MaxStraggleSleep time.Duration
+
+	// Request-level faults, consulted by the resident field service and
+	// its load generators. Requests are identified by a monotonically
+	// assigned id, so the same plan and seed replay the same per-request
+	// faults regardless of scheduling order.
+	//
+	// SlowClientProb injects a slow client: the affected request's
+	// submission is delayed by ~SlowClientDelay (jittered
+	// deterministically in [0.5, 1.5]×), holding service resources from
+	// the caller's side. CancelProb cancels the affected request's
+	// context ~CancelAfter after admission (same jitter), exercising the
+	// mid-march release path. PoisonProb corrupts the cache entry that
+	// the affected request fills, exercising checksum-based poison
+	// detection on later hits.
+	SlowClientProb  float64
+	SlowClientDelay time.Duration
+	CancelProb      float64
+	CancelAfter     time.Duration
+	PoisonProb      float64
+}
+
+// RequestFault is the injected behavior for one field-service request.
+type RequestFault struct {
+	// SlowClient delays the request's submission by Delay.
+	SlowClient bool
+	Delay      time.Duration
+	// Cancel cancels the request's context CancelAfter after admission.
+	Cancel      bool
+	CancelAfter time.Duration
 }
 
 // Injector makes deterministic fault decisions from a Plan. It is safe
@@ -161,6 +190,38 @@ func (in *Injector) ShouldCrash(rank int, point string, progress int) bool {
 // Crashed builds the error a rank dies with when ShouldCrash fires.
 func Crashed(rank int, point string, progress int) error {
 	return fmt.Errorf("%w: rank %d at %s after %d items", ErrInjectedCrash, rank, point, progress)
+}
+
+// RequestVerdict decides, deterministically per request id, which
+// request-level faults fire. Safe for concurrent use.
+func (in *Injector) RequestVerdict(id uint64) RequestFault {
+	var v RequestFault
+	if in.plan.SlowClientProb > 0 {
+		h := in.hash(0x51c0, 0, 0, 0, id)
+		if frac(h) < in.plan.SlowClientProb {
+			v.SlowClient = true
+			jitter := 0.5 + frac(splitmix64(h))
+			v.Delay = time.Duration(float64(in.plan.SlowClientDelay) * jitter)
+		}
+	}
+	if in.plan.CancelProb > 0 {
+		h := in.hash(0xca9c, 0, 0, 0, id)
+		if frac(h) < in.plan.CancelProb {
+			v.Cancel = true
+			jitter := 0.5 + frac(splitmix64(h))
+			v.CancelAfter = time.Duration(float64(in.plan.CancelAfter) * jitter)
+		}
+	}
+	return v
+}
+
+// ShouldPoisonCache reports whether the cache fill performed by request
+// id must be corrupted (deterministic per id).
+func (in *Injector) ShouldPoisonCache(id uint64) bool {
+	if in.plan.PoisonProb <= 0 {
+		return false
+	}
+	return frac(in.hash(0x9015, 0, 0, 0, id)) < in.plan.PoisonProb
 }
 
 // StraggleFactor returns the slowdown multiplier for a rank (1 = none).

@@ -108,3 +108,74 @@ func TestStraggleSleepCapped(t *testing.T) {
 		t.Fatalf("unafflicted rank slept %v", d)
 	}
 }
+
+func TestRequestVerdictDeterministic(t *testing.T) {
+	plan := Plan{
+		Seed:            17,
+		SlowClientProb:  0.3,
+		SlowClientDelay: 10 * time.Millisecond,
+		CancelProb:      0.2,
+		CancelAfter:     4 * time.Millisecond,
+		PoisonProb:      0.1,
+	}
+	a, b := New(plan), New(plan)
+	var slow, cancels, poisons int
+	diverged := false
+	plan2 := plan
+	plan2.Seed = 18
+	c := New(plan2)
+	for id := uint64(0); id < 10_000; id++ {
+		va, vb := a.RequestVerdict(id), b.RequestVerdict(id)
+		if va != vb {
+			t.Fatalf("id %d: same plan diverged: %+v vs %+v", id, va, vb)
+		}
+		if a.ShouldPoisonCache(id) != b.ShouldPoisonCache(id) {
+			t.Fatalf("id %d: poison decision diverged", id)
+		}
+		if va != c.RequestVerdict(id) {
+			diverged = true
+		}
+		if va.SlowClient {
+			slow++
+			if va.Delay < 5*time.Millisecond || va.Delay > 15*time.Millisecond {
+				t.Fatalf("id %d: slow-client delay %v outside jitter bounds", id, va.Delay)
+			}
+		} else if va.Delay != 0 {
+			t.Fatalf("id %d: delay set without slow-client", id)
+		}
+		if va.Cancel {
+			cancels++
+			if va.CancelAfter < 2*time.Millisecond || va.CancelAfter > 6*time.Millisecond {
+				t.Fatalf("id %d: cancel-after %v outside jitter bounds", id, va.CancelAfter)
+			}
+		}
+		if a.ShouldPoisonCache(id) {
+			poisons++
+		}
+	}
+	if !diverged {
+		t.Fatal("different seed never changed a verdict")
+	}
+	check := func(name string, n int, p float64) {
+		t.Helper()
+		got := float64(n) / 10_000
+		if got < p*0.7 || got > p*1.3 {
+			t.Fatalf("%s rate %.3f far from plan %.3f", name, got, p)
+		}
+	}
+	check("slow-client", slow, plan.SlowClientProb)
+	check("cancel", cancels, plan.CancelProb)
+	check("poison", poisons, plan.PoisonProb)
+}
+
+func TestRequestVerdictZeroPlanSilent(t *testing.T) {
+	in := New(Plan{Seed: 1})
+	for id := uint64(0); id < 100; id++ {
+		if v := in.RequestVerdict(id); v != (RequestFault{}) {
+			t.Fatalf("zero plan injected %+v", v)
+		}
+		if in.ShouldPoisonCache(id) {
+			t.Fatal("zero plan poisoned")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package fieldserve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// BenchmarkFieldServeColdBuild measures the full cold path: service
+// creation, catalog registration, mesh build, and the first render.
+func BenchmarkFieldServeColdBuild(b *testing.B) {
+	pts := testPoints(400, 31)
+	spec := testSpec(16, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(Options{Workers: 1})
+		if err := s.Register("halos", pts); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: spec}); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkFieldServeCacheHit measures the warm path: an exact cache hit
+// served inline, including its checksum re-verification.
+func BenchmarkFieldServeCacheHit(b *testing.B) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	if err := s.Register("halos", testPoints(400, 31)); err != nil {
+		b.Fatal(err)
+	}
+	req := Request{Catalog: "halos", Spec: testSpec(32, 1)}
+	if _, err := s.Serve(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Serve(context.Background(), req)
+		if err != nil || !resp.CacheHit {
+			b.Fatalf("warm serve: hit=%v err=%v", resp != nil && resp.CacheHit, err)
+		}
+	}
+}
+
+// BenchmarkFieldServeShed measures the shed path: queue full, degrade
+// ladder cold, request rejected with the typed overload error.
+func BenchmarkFieldServeShed(b *testing.B) {
+	pts := testPoints(2500, 31)
+	s := New(Options{Workers: 1, QueueDepth: 1, MaxDegrade: 1})
+	defer s.Close()
+	if err := s.Register("halos", pts); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the mesh, then wedge the worker and the queue slot with huge
+	// renders held open until the benchmark ends.
+	if _, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: testSpec(8, 0)}); err != nil {
+		b.Fatal(err)
+	}
+	hold, release := context.WithCancel(context.Background())
+	defer release()
+	for i := 0; i < 2; i++ {
+		big := testSpec(1024, int64(50+i))
+		big.Samples = 4
+		go s.Serve(hold, Request{Catalog: "halos", Spec: big}) //nolint:errcheck
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for st := s.Stats(); st.Active < 1 || st.QueueLen < 1; st = s.Stats() {
+		if time.Now().After(deadline) {
+			b.Fatal("could not wedge the service")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	req := Request{Catalog: "halos", Spec: testSpec(64, 99)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := s.Serve(context.Background(), req)
+		if !errors.Is(err, ErrOverloaded) {
+			b.Fatalf("wedged serve returned %v, want overload", err)
+		}
+	}
+}

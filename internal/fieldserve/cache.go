@@ -1,0 +1,203 @@
+package fieldserve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+
+	"godtfe/internal/grid"
+	"godtfe/internal/render"
+)
+
+// Key identifies one cached rendering: a registered catalog plus the full
+// render spec. render.Spec is a flat comparable struct, so Key is usable
+// directly as a map key and two requests for the same field at the same
+// resolution coalesce exactly.
+type Key struct {
+	Catalog string
+	Spec    render.Spec
+}
+
+// Coarsen returns the spec one or more power-of-two levels coarser than
+// spec over the same physical domain: Nx and Ny halved per level, Cell
+// doubled, jitter settings unchanged. The second result is false when the
+// shape does not divide evenly (degradation must cover the identical
+// domain, or the fallback would lie about the field's support).
+func Coarsen(spec render.Spec, level int) (render.Spec, bool) {
+	if level <= 0 {
+		return spec, level == 0
+	}
+	f := 1 << uint(level)
+	if spec.Nx%f != 0 || spec.Ny%f != 0 || spec.Nx/f < 1 || spec.Ny/f < 1 {
+		return render.Spec{}, false
+	}
+	c := spec
+	c.Nx /= f
+	c.Ny /= f
+	c.Cell *= float64(f)
+	return c, true
+}
+
+// cacheEntry is one resident grid. Grids in the cache are immutable
+// shared assets: every hit hands out the same pointer, so nothing
+// downstream may write to a served grid.
+type cacheEntry struct {
+	key  Key
+	g    *grid.Grid2D
+	sum  uint64 // checksum recorded at fill time; re-verified on every hit
+	elem *list.Element
+}
+
+// flight is one in-progress single-flight fill. The leader renders and
+// closes done; followers block on done (or their own context). If the
+// leader aborts with its context's error, followers whose contexts are
+// still live retry as a new leader rather than inheriting the failure.
+type flight struct {
+	done chan struct{}
+	g    *grid.Grid2D
+	sum  uint64
+	err  error
+}
+
+// tileCache is the LRU grid cache with single-flight fill and hit-time
+// poison detection. All bookkeeping is under one mutex; renders happen
+// outside it.
+type tileCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[Key]*cacheEntry
+	order   *list.List // front = most recently used
+	flights map[Key]*flight
+
+	hits, misses, evicted, poisoned, dedup uint64
+}
+
+func newTileCache(capacity int) *tileCache {
+	return &tileCache{
+		cap:     capacity,
+		entries: make(map[Key]*cacheEntry),
+		order:   list.New(),
+		flights: make(map[Key]*flight),
+	}
+}
+
+// lookupLocked returns the verified entry for key, or nil. A checksum
+// mismatch means the entry was corrupted after fill (cache poisoning);
+// the entry is evicted and recorded, and the caller sees a miss.
+func (c *tileCache) lookupLocked(key Key) *cacheEntry {
+	e, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	if e.g.Checksum() != e.sum {
+		c.poisoned++
+		c.removeLocked(e)
+		return nil
+	}
+	c.order.MoveToFront(e.elem)
+	return e
+}
+
+func (c *tileCache) removeLocked(e *cacheEntry) {
+	delete(c.entries, e.key)
+	c.order.Remove(e.elem)
+}
+
+func (c *tileCache) insertLocked(key Key, g *grid.Grid2D, sum uint64) {
+	if c.cap <= 0 {
+		return
+	}
+	if old, ok := c.entries[key]; ok {
+		c.removeLocked(old)
+	}
+	e := &cacheEntry{key: key, g: g, sum: sum}
+	e.elem = c.order.PushFront(e)
+	c.entries[key] = e
+	for len(c.entries) > c.cap {
+		back := c.order.Back()
+		c.removeLocked(back.Value.(*cacheEntry))
+		c.evicted++
+	}
+}
+
+// peek is a non-filling verified lookup, used by the degrade ladder: it
+// only ever serves what is already resident.
+func (c *tileCache) peek(key Key) (*grid.Grid2D, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.lookupLocked(key); e != nil {
+		c.hits++
+		return e.g, e.sum, true
+	}
+	return nil, 0, false
+}
+
+// do returns the grid for key, filling it at most once across concurrent
+// callers. fill runs outside the cache lock under the caller's context
+// and must return the rendered grid with its checksum. corrupt, when
+// non-nil, poisons the *stored* copy after a successful fill (fault
+// injection): the caller is still served the pristine grid, and the next
+// hit's checksum verification is expected to catch the corruption.
+func (c *tileCache) do(ctx context.Context, key Key,
+	fill func(context.Context) (*grid.Grid2D, uint64, error),
+	corrupt func(*grid.Grid2D) *grid.Grid2D,
+) (*grid.Grid2D, uint64, bool, error) {
+	for {
+		c.mu.Lock()
+		if e := c.lookupLocked(key); e != nil {
+			c.hits++
+			c.mu.Unlock()
+			return e.g, e.sum, true, nil
+		}
+		if f, inFlight := c.flights[key]; inFlight {
+			c.dedup++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, 0, false, context.Cause(ctx)
+			}
+			if f.err == nil {
+				return f.g, f.sum, true, nil
+			}
+			if ctx.Err() == nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+				continue // leader died with its own context; we are alive — retry
+			}
+			return nil, 0, false, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.misses++
+		c.mu.Unlock()
+
+		f.g, f.sum, f.err = fill(ctx)
+		c.mu.Lock()
+		if f.err == nil {
+			stored := f.g
+			if corrupt != nil {
+				stored = corrupt(f.g)
+			}
+			c.insertLocked(key, stored, f.sum)
+		}
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(f.done)
+		return f.g, f.sum, false, f.err
+	}
+}
+
+// cacheStats is a consistent snapshot of the cache counters.
+type cacheStats struct {
+	Hits, Misses, Evicted, Poisoned, Dedup uint64
+	Entries                                int
+}
+
+func (c *tileCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Hits: c.hits, Misses: c.misses, Evicted: c.evicted,
+		Poisoned: c.poisoned, Dedup: c.dedup, Entries: len(c.entries),
+	}
+}

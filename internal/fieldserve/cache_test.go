@@ -1,0 +1,260 @@
+package fieldserve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godtfe/internal/grid"
+)
+
+// fillGrid makes a deterministic small grid for a key so cache tests can
+// verify identity without running renders.
+func fillGrid(key Key) *grid.Grid2D {
+	g := key.Spec.Grid()
+	for i := range g.Data {
+		g.Data[i] = float64(i+1) * float64(key.Spec.Seed+1)
+	}
+	return g
+}
+
+func cacheKey(seed int64) Key {
+	return Key{Catalog: "c", Spec: testSpec(8, seed)}
+}
+
+func TestCoarsen(t *testing.T) {
+	spec := testSpec(64, 1)
+	c1, ok := Coarsen(spec, 1)
+	if !ok || c1.Nx != 32 || c1.Ny != 32 || c1.Cell != spec.Cell*2 || c1.Min != spec.Min {
+		t.Fatalf("level 1 coarsen wrong: %+v", c1)
+	}
+	c2, ok := Coarsen(spec, 2)
+	if !ok || c2.Nx != 16 || c2.Cell != spec.Cell*4 {
+		t.Fatalf("level 2 coarsen wrong: %+v", c2)
+	}
+	if _, ok := Coarsen(testSpec(63, 1), 1); ok {
+		t.Fatal("odd grid coarsened")
+	}
+	if same, ok := Coarsen(spec, 0); !ok || same != spec {
+		t.Fatal("level 0 must be identity")
+	}
+	if _, ok := Coarsen(spec, -1); ok {
+		t.Fatal("negative level accepted")
+	}
+}
+
+// N concurrent requests for the same cold key run exactly one fill; the
+// followers all get the leader's grid.
+func TestCacheSingleFlight(t *testing.T) {
+	c := newTileCache(8)
+	key := cacheKey(1)
+	var fills atomic.Int64
+	var wg sync.WaitGroup
+	grids := make([]*grid.Grid2D, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, _, _, err := c.do(context.Background(), key, func(context.Context) (*grid.Grid2D, uint64, error) {
+				fills.Add(1)
+				time.Sleep(20 * time.Millisecond) // hold the flight open so followers pile up
+				g := fillGrid(key)
+				return g, g.Checksum(), nil
+			}, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			grids[i] = g
+		}(i)
+	}
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fill ran %d times, want 1", n)
+	}
+	for _, g := range grids {
+		if g != grids[0] {
+			t.Fatal("followers got a different grid than the leader")
+		}
+	}
+	if st := c.stats(); st.Dedup == 0 {
+		t.Fatal("no dedupe recorded despite 16-way pileup")
+	}
+}
+
+// A follower whose own context dies while waiting gets its context error;
+// a follower that outlives a cancelled leader retries and fills itself.
+func TestCacheFlightContexts(t *testing.T) {
+	c := newTileCache(8)
+	key := cacheKey(2)
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.do(leaderCtx, key, func(ctx context.Context) (*grid.Grid2D, uint64, error) {
+			close(started)
+			<-ctx.Done() // simulate a render aborted by the leader's cancellation
+			return nil, 0, context.Cause(ctx)
+		}, nil)
+		leaderDone <- err
+	}()
+	<-started
+
+	// Follower 1: its own short deadline dies first.
+	shortCtx, cancelShort := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancelShort()
+	_, _, _, err := c.do(shortCtx, key, func(context.Context) (*grid.Grid2D, uint64, error) {
+		t.Error("dead follower must not fill")
+		return nil, 0, nil
+	}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("dead follower: err = %v", err)
+	}
+
+	// Follower 2: alive; when the leader dies with its own cancellation,
+	// the follower must take over and fill.
+	followerDone := make(chan *grid.Grid2D, 1)
+	go func() {
+		g, _, _, err := c.do(context.Background(), key, func(context.Context) (*grid.Grid2D, uint64, error) {
+			g := fillGrid(key)
+			return g, g.Checksum(), nil
+		}, nil)
+		if err != nil {
+			t.Error(err)
+		}
+		followerDone <- g
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader: err = %v", err)
+	}
+	select {
+	case g := <-followerDone:
+		if g == nil {
+			t.Fatal("surviving follower got no grid")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("surviving follower hung after leader cancellation")
+	}
+}
+
+// LRU eviction: capacity bounds residency, oldest entry leaves first,
+// and a hit refreshes recency.
+func TestCacheEviction(t *testing.T) {
+	c := newTileCache(2)
+	insert := func(seed int64) {
+		key := cacheKey(seed)
+		_, _, _, err := c.do(context.Background(), key, func(context.Context) (*grid.Grid2D, uint64, error) {
+			g := fillGrid(key)
+			return g, g.Checksum(), nil
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	insert(1)
+	insert(2)
+	if _, _, ok := c.peek(cacheKey(1)); !ok { // refresh 1 → 2 is now LRU
+		t.Fatal("warm entry missing")
+	}
+	insert(3) // evicts 2
+	if _, _, ok := c.peek(cacheKey(2)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, _, ok := c.peek(cacheKey(1)); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	st := c.stats()
+	if st.Evicted != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 resident", st)
+	}
+}
+
+// Corrupting a resident grid in place is caught on the next lookup: the
+// entry is evicted, counted, and refilled with pristine bits.
+func TestCachePoisonVerification(t *testing.T) {
+	c := newTileCache(4)
+	key := cacheKey(3)
+	pristine := fillGrid(key)
+	sum := pristine.Checksum()
+	stored := pristine.Clone()
+	c.mu.Lock()
+	c.insertLocked(key, stored, sum)
+	c.mu.Unlock()
+	stored.Data[0] = math.Float64frombits(math.Float64bits(stored.Data[0]) ^ 1)
+
+	if _, _, ok := c.peek(key); ok {
+		t.Fatal("poisoned entry served")
+	}
+	if st := c.stats(); st.Poisoned != 1 {
+		t.Fatalf("poisoned = %d, want 1", st.Poisoned)
+	}
+	g, gotSum, hit, err := c.do(context.Background(), key, func(context.Context) (*grid.Grid2D, uint64, error) {
+		g := fillGrid(key)
+		return g, g.Checksum(), nil
+	}, nil)
+	if err != nil || hit {
+		t.Fatalf("refill: hit=%v err=%v", hit, err)
+	}
+	if gotSum != sum || g.Checksum() != sum {
+		t.Fatal("refilled grid not pristine")
+	}
+}
+
+// Hammer the cache from many goroutines mixing hits, misses, evictions,
+// and single-flight pileups; run under -race this is the concurrency
+// soak. Validity: every returned grid matches its key's deterministic
+// fill, and residency never exceeds capacity.
+func TestCacheConcurrentSoak(t *testing.T) {
+	c := newTileCache(4)
+	keys := make([]Key, 10)
+	sums := make([]uint64, 10)
+	for i := range keys {
+		keys[i] = cacheKey(int64(i))
+		sums[i] = fillGrid(keys[i]).Checksum()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			x := uint64(w + 1)
+			for op := 0; op < 200; op++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				i := int(x>>33) % len(keys)
+				key := keys[i]
+				if x&1 == 0 {
+					if g, sum, ok := c.peek(key); ok && (sum != sums[i] || g.Checksum() != sums[i]) {
+						t.Errorf("peek served wrong bits for key %d", i)
+					}
+					continue
+				}
+				g, sum, _, err := c.do(context.Background(), key, func(context.Context) (*grid.Grid2D, uint64, error) {
+					g := fillGrid(key)
+					return g, g.Checksum(), nil
+				}, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if sum != sums[i] || g.Checksum() != sums[i] {
+					t.Errorf("do served wrong bits for key %d", i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.stats()
+	if st.Entries > 4 {
+		t.Fatalf("residency %d exceeds capacity 4", st.Entries)
+	}
+	if st.Hits == 0 || st.Misses == 0 || st.Evicted == 0 {
+		t.Fatalf("soak failed to exercise all paths: %+v", st)
+	}
+}

@@ -1,0 +1,430 @@
+package fieldserve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/dtfe"
+	"godtfe/internal/fault"
+	"godtfe/internal/geom"
+	"godtfe/internal/grid"
+	"godtfe/internal/render"
+)
+
+// Options configures a Service. The zero value gets sane defaults from
+// New.
+type Options struct {
+	// Workers is the number of serving goroutines draining the admission
+	// queue (default 2). Each worker runs one render at a time.
+	Workers int
+	// QueueDepth bounds the admission queue (default 2×Workers). A
+	// request arriving at a full queue is degraded or shed, never
+	// queued unboundedly.
+	QueueDepth int
+	// CacheEntries is the LRU grid-cache capacity (default 64; 0 uses
+	// the default, negative disables caching).
+	CacheEntries int
+	// MaxDegrade is the deepest coarsening level the degrade ladder
+	// tries before shedding (default 2; negative disables degradation).
+	MaxDegrade int
+	// RenderWorkers is the marching parallelism per render (default 1:
+	// concurrency comes from serving many requests, not one).
+	RenderWorkers int
+	// Sched is the per-render column schedule.
+	Sched render.Schedule
+	// Fault optionally injects request-level faults; the service itself
+	// only consults the cache-poisoning decision (slow clients and
+	// cancellations are the load generator's side of the contract).
+	Fault *fault.Injector
+}
+
+// Request names a registered catalog and the grid to render.
+type Request struct {
+	Catalog string
+	Spec    render.Spec
+}
+
+// Response is one served grid. Grid is an immutable shared asset — it
+// may be resident in the cache and concurrently handed to other callers,
+// so callers must not mutate it (Clone first if needed).
+type Response struct {
+	Grid     *grid.Grid2D
+	Checksum uint64
+	// CacheHit reports the grid came from the cache (including
+	// single-flight followers served by another request's render).
+	CacheHit bool
+	// Degraded reports the service was overloaded and served a coarser
+	// cached rendering of the same field instead of shedding;
+	// DegradeLevel is the power-of-two coarsening applied.
+	Degraded     bool
+	DegradeLevel int
+}
+
+// Stats is a point-in-time snapshot of service counters.
+type Stats struct {
+	Served    uint64 // responses delivered, including degraded
+	Shed      uint64 // requests rejected with ErrOverloaded
+	Degraded  uint64 // responses served off the degrade ladder
+	Expired   uint64 // requests whose context died before/while rendering
+	Builds    uint64 // Delaunay+field builds performed (once per catalog)
+	CacheHits uint64
+	CacheMiss uint64
+	Evicted   uint64
+	Poisoned  uint64 // poisoned entries caught by hit-time verification
+	Deduped   uint64 // requests coalesced onto another request's render
+	QueueLen  int
+	Active    int // workers currently serving a request
+}
+
+// catalog is one registered particle set and its lazily built, pinned
+// mesh. built closes exactly once, after which m/err are immutable.
+type catalog struct {
+	pts []geom.Vec3
+
+	mu       sync.Mutex
+	building bool
+	built    chan struct{}
+	m        *render.Marcher
+	err      error
+}
+
+type task struct {
+	ctx  context.Context
+	id   uint64
+	key  Key
+	done chan taskResult
+}
+
+type taskResult struct {
+	resp *Response
+	err  error
+}
+
+// Service is the resident field server. Create with New, populate with
+// Register, serve with Serve, shut down with Close.
+type Service struct {
+	opt   Options
+	cache *tileCache
+	queue chan *task
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu       sync.RWMutex
+	closed   bool
+	catalogs map[string]*catalog
+
+	reqID  atomic.Uint64
+	ewmaNs atomic.Int64 // exponentially averaged render wall time
+
+	served, shed, degraded, expired, builds atomic.Uint64
+	active                                  atomic.Int64
+}
+
+// New starts a service with opt (zero-value fields defaulted) and its
+// serving workers.
+func New(opt Options) *Service {
+	if opt.Workers <= 0 {
+		opt.Workers = 2
+	}
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = 2 * opt.Workers
+	}
+	if opt.CacheEntries == 0 {
+		opt.CacheEntries = 64
+	}
+	if opt.CacheEntries < 0 {
+		opt.CacheEntries = 0
+	}
+	if opt.MaxDegrade == 0 {
+		opt.MaxDegrade = 2
+	}
+	if opt.MaxDegrade < 0 {
+		opt.MaxDegrade = 0
+	}
+	if opt.RenderWorkers <= 0 {
+		opt.RenderWorkers = 1
+	}
+	s := &Service{
+		opt:      opt,
+		cache:    newTileCache(opt.CacheEntries),
+		queue:    make(chan *task, opt.QueueDepth),
+		quit:     make(chan struct{}),
+		catalogs: make(map[string]*catalog),
+	}
+	s.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Register records a particle catalog under name. The Delaunay mesh is
+// built lazily by the first request that needs it (single-flight: exactly
+// one build no matter how many requests race) and pinned for the life of
+// the service. Re-registering a name is an error — the mesh is an
+// immutable serving asset, not a mutable table.
+func (s *Service) Register(name string, pts []geom.Vec3) error {
+	if name == "" {
+		return fmt.Errorf("fieldserve: empty catalog name")
+	}
+	if len(pts) == 0 {
+		return fmt.Errorf("fieldserve: catalog %q has no particles", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.catalogs[name]; dup {
+		return fmt.Errorf("fieldserve: catalog %q already registered", name)
+	}
+	s.catalogs[name] = &catalog{pts: pts, built: make(chan struct{})}
+	return nil
+}
+
+// Serve renders req under ctx. Exact cache hits are served inline from
+// the calling goroutine; misses go through the bounded admission queue.
+// On overload it returns a degraded cached response when one exists,
+// otherwise a typed *OverloadError. A cancelled ctx aborts the render
+// mid-column and returns the context's cause.
+func (s *Service) Serve(ctx context.Context, req Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := req.Spec.Validate(false); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	closed := s.closed
+	_, known := s.catalogs[req.Catalog]
+	s.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !known {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCatalog, req.Catalog)
+	}
+
+	key := Key{Catalog: req.Catalog, Spec: req.Spec}
+	if g, sum, ok := s.cache.peek(key); ok {
+		s.served.Add(1)
+		return &Response{Grid: g, Checksum: sum, CacheHit: true}, nil
+	}
+
+	t := &task{ctx: ctx, id: s.reqID.Add(1), key: key, done: make(chan taskResult, 1)}
+	select {
+	case s.queue <- t:
+	case <-s.quit:
+		return nil, ErrClosed
+	default:
+		return s.degradeOrShed(key)
+	}
+
+	select {
+	case r := <-t.done:
+		if r.err != nil {
+			return nil, r.err
+		}
+		s.served.Add(1)
+		return r.resp, nil
+	case <-ctx.Done():
+		// The worker (or queue drain) observes the same context and
+		// releases within one column march; we do not wait for it.
+		s.expired.Add(1)
+		return nil, context.Cause(ctx)
+	}
+}
+
+// degradeOrShed is the full-queue path: serve the nearest coarser cached
+// rendering of the same field, or shed with a retry-after hint.
+func (s *Service) degradeOrShed(key Key) (*Response, error) {
+	for level := 1; level <= s.opt.MaxDegrade; level++ {
+		coarse, ok := Coarsen(key.Spec, level)
+		if !ok {
+			break
+		}
+		if g, sum, hit := s.cache.peek(Key{Catalog: key.Catalog, Spec: coarse}); hit {
+			s.degraded.Add(1)
+			s.served.Add(1)
+			return &Response{Grid: g, Checksum: sum, CacheHit: true, Degraded: true, DegradeLevel: level}, nil
+		}
+	}
+	s.shed.Add(1)
+	return nil, &OverloadError{RetryAfter: s.retryAfter(), QueueDepth: len(s.queue)}
+}
+
+// retryAfter estimates the queue-drain time: (depth+1) renders at the
+// averaged render cost spread over the workers, floored at 1ms.
+func (s *Service) retryAfter() time.Duration {
+	avg := time.Duration(s.ewmaNs.Load())
+	if avg <= 0 {
+		avg = 10 * time.Millisecond
+	}
+	d := time.Duration(float64(avg) * float64(len(s.queue)+1) / float64(s.opt.Workers))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+func (s *Service) observeRender(d time.Duration) {
+	const alpha = 0.2
+	for {
+		old := s.ewmaNs.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + int64(alpha*float64(int64(d)-old))
+		}
+		if s.ewmaNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case t := <-s.queue:
+			s.active.Add(1)
+			t.done <- s.handle(t)
+			s.active.Add(-1)
+		}
+	}
+}
+
+// handle serves one admitted task on a worker goroutine.
+func (s *Service) handle(t *task) taskResult {
+	if err := t.ctx.Err(); err != nil {
+		s.expired.Add(1)
+		return taskResult{err: context.Cause(t.ctx)}
+	}
+	m, err := s.marcherFor(t.ctx, t.key.Catalog)
+	if err != nil {
+		return taskResult{err: err}
+	}
+	var corrupt func(*grid.Grid2D) *grid.Grid2D
+	if s.opt.Fault != nil && s.opt.Fault.ShouldPoisonCache(t.id) {
+		corrupt = poisonGrid
+	}
+	g, sum, hit, err := s.cache.do(t.ctx, t.key, func(ctx context.Context) (*grid.Grid2D, uint64, error) {
+		start := time.Now()
+		out, _, rerr := m.RenderCtx(ctx, t.key.Spec, s.opt.RenderWorkers, s.opt.Sched)
+		if rerr != nil {
+			return nil, 0, rerr
+		}
+		s.observeRender(time.Since(start))
+		return out, out.Checksum(), nil
+	}, corrupt)
+	if err != nil {
+		if t.ctx.Err() != nil {
+			s.expired.Add(1)
+		}
+		return taskResult{err: err}
+	}
+	return taskResult{resp: &Response{Grid: g, Checksum: sum, CacheHit: hit}}
+}
+
+// marcherFor returns the pinned marcher for a catalog, building the mesh
+// exactly once. The build runs on a detached goroutine so the initiating
+// request's cancellation cannot abort a build other requests are waiting
+// on; waiters block on the build or their own context, whichever ends
+// first.
+func (s *Service) marcherFor(ctx context.Context, name string) (*render.Marcher, error) {
+	s.mu.RLock()
+	cat := s.catalogs[name]
+	s.mu.RUnlock()
+	if cat == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCatalog, name)
+	}
+	cat.mu.Lock()
+	if !cat.building {
+		cat.building = true
+		go func() {
+			defer close(cat.built)
+			s.builds.Add(1)
+			tri, err := delaunay.New(cat.pts)
+			if err != nil {
+				cat.err = fmt.Errorf("fieldserve: building catalog %q: %w", name, err)
+				return
+			}
+			f, err := dtfe.NewField(tri, nil)
+			if err != nil {
+				cat.err = fmt.Errorf("fieldserve: building catalog %q: %w", name, err)
+				return
+			}
+			cat.m = render.NewMarcher(f)
+			cat.pts = nil // the SoA mesh is the serving asset now
+		}()
+	}
+	cat.mu.Unlock()
+	select {
+	case <-cat.built:
+		return cat.m, cat.err
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	}
+}
+
+// poisonGrid returns a corrupted private copy for the cache: one cell's
+// low mantissa bit flipped, which hit-time checksum verification must
+// catch. The caller's pristine grid is untouched.
+func poisonGrid(g *grid.Grid2D) *grid.Grid2D {
+	bad := g.Clone()
+	if len(bad.Data) > 0 {
+		i := len(bad.Data) / 2
+		bad.Data[i] = math.Float64frombits(math.Float64bits(bad.Data[i]) ^ 1)
+	}
+	return bad
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	cs := s.cache.stats()
+	return Stats{
+		Served:    s.served.Load(),
+		Shed:      s.shed.Load(),
+		Degraded:  s.degraded.Load(),
+		Expired:   s.expired.Load(),
+		Builds:    s.builds.Load(),
+		CacheHits: cs.Hits,
+		CacheMiss: cs.Misses,
+		Evicted:   cs.Evicted,
+		Poisoned:  cs.Poisoned,
+		Deduped:   cs.Dedup,
+		QueueLen:  len(s.queue),
+		Active:    int(s.active.Load()),
+	}
+}
+
+// Close shuts the service down: no new requests are admitted, the
+// serving workers exit after their current render, and every task still
+// queued is resolved with ErrClosed. Close is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+	for {
+		select {
+		case t := <-s.queue:
+			t.done <- taskResult{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}

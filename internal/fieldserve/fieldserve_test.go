@@ -1,0 +1,330 @@
+package fieldserve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/dtfe"
+	"godtfe/internal/fault"
+	"godtfe/internal/geom"
+	"godtfe/internal/render"
+	"godtfe/internal/synth"
+)
+
+func faultInjectorAllPoison() *fault.Injector {
+	return fault.New(fault.Plan{Seed: 1, PoisonProb: 1})
+}
+
+func testPoints(n int, seed int64) []geom.Vec3 {
+	box := geom.AABB{Min: geom.Vec3{}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	return synth.HaloSet(n, box, synth.DefaultHaloSpec(), seed)
+}
+
+// testSpec builds an n×n spec; seed varies the cache key without
+// changing the cost.
+func testSpec(n int, seed int64) render.Spec {
+	pad := 0.02
+	return render.Spec{
+		Min: geom.Vec2{X: -pad, Y: -pad},
+		Nx:  n, Ny: n, Cell: (1 + 2*pad) / float64(n),
+		Samples: 1, Seed: seed,
+	}
+}
+
+// directChecksum renders spec outside the service, from the same points,
+// for bit-identity checks.
+func directChecksum(t testing.TB, pts []geom.Vec3, spec render.Spec) uint64 {
+	t.Helper()
+	tri, err := delaunay.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := dtfe.NewField(tri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := render.NewMarcher(f).Render(spec, 1, render.ScheduleDynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Checksum()
+}
+
+// Every grid the service serves must be bit-identical to a direct
+// render.Render of the same spec — residency, caching, and concurrency
+// must not perturb a single bit.
+func TestServeBitIdentical(t *testing.T) {
+	pts := testPoints(600, 3)
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	if err := s.Register("halos", pts); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 2} {
+		spec := testSpec(32, seed)
+		resp, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := directChecksum(t, pts, spec); resp.Checksum != want {
+			t.Fatalf("served grid checksum %#x, direct render %#x", resp.Checksum, want)
+		}
+		if resp.Grid.Checksum() != resp.Checksum {
+			t.Fatal("response checksum does not match the grid it carries")
+		}
+		// Second request: exact cache hit, same bits.
+		again, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !again.CacheHit {
+			t.Fatal("repeat request missed the cache")
+		}
+		if again.Checksum != resp.Checksum {
+			t.Fatal("cache hit served different bits")
+		}
+	}
+}
+
+// The mesh for a catalog is built exactly once no matter how many
+// requests race to first use, and the build survives its initiator's
+// cancellation.
+func TestSingleFlightBuild(t *testing.T) {
+	s := New(Options{Workers: 4, QueueDepth: 32})
+	defer s.Close()
+	if err := s.Register("halos", testPoints(800, 5)); err != nil {
+		t.Fatal(err)
+	}
+
+	// First wave: the initiating request is cancelled almost immediately;
+	// the build must keep going for everyone else.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	_, _ = s.Serve(ctx, Request{Catalog: "halos", Spec: testSpec(24, 99)})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Serve(context.Background(), Request{Catalog: "halos", Spec: testSpec(24, int64(i))})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if st := s.Stats(); st.Builds != 1 {
+		t.Fatalf("builds = %d, want exactly 1", st.Builds)
+	}
+}
+
+// Requests against unknown catalogs, duplicate registrations, and a
+// closed service all fail with their typed errors.
+func TestRequestValidation(t *testing.T) {
+	s := New(Options{})
+	if err := s.Register("a", testPoints(200, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("a", testPoints(200, 2)); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := s.Register("", testPoints(200, 3)); err == nil {
+		t.Fatal("empty catalog name accepted")
+	}
+	_, err := s.Serve(context.Background(), Request{Catalog: "nope", Spec: testSpec(16, 0)})
+	if !errors.Is(err, ErrUnknownCatalog) {
+		t.Fatalf("unknown catalog: err = %v", err)
+	}
+	bad := testSpec(16, 0)
+	bad.Nx = 0
+	if _, err := s.Serve(context.Background(), Request{Catalog: "a", Spec: bad}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Serve(context.Background(), Request{Catalog: "a", Spec: testSpec(16, 0)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed service: err = %v", err)
+	}
+	if err := s.Register("b", testPoints(200, 4)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("register on closed service: err = %v", err)
+	}
+}
+
+// A cancelled request surfaces the context error and releases its worker
+// promptly: a follow-up request on the same single-worker service
+// completes instead of waiting out the aborted render.
+func TestCancelReleasesWorker(t *testing.T) {
+	pts := testPoints(2500, 7)
+	s := New(Options{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	if err := s.Register("halos", pts); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the mesh so cancellation timing tests the render, not the build.
+	if _, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: testSpec(8, 0)}); err != nil {
+		t.Fatal(err)
+	}
+
+	big := testSpec(512, 1)
+	big.Samples = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Serve(ctx, Request{Catalog: "halos", Spec: big})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled request: err = %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled request never returned")
+	}
+
+	start := time.Now()
+	resp, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: testSpec(16, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Grid == nil {
+		t.Fatal("post-cancel request returned no grid")
+	}
+	// The big render would take far longer than this; the worker must
+	// have been released mid-march.
+	if el := time.Since(start); el > 15*time.Second {
+		t.Fatalf("worker held for %v after cancellation", el)
+	}
+	if st := s.Stats(); st.Expired == 0 {
+		t.Fatal("expired counter never incremented")
+	}
+
+	// A deadline already in the past must not march at all.
+	exp, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := s.Serve(exp, Request{Catalog: "halos", Spec: testSpec(16, 3)}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired ctx: err = %v", err)
+	}
+}
+
+// Under overload with a warm coarse rendering cached, the service serves
+// the coarse grid flagged Degraded instead of shedding.
+func TestDegradedFallback(t *testing.T) {
+	pts := testPoints(2500, 9)
+	s := New(Options{Workers: 1, QueueDepth: 1, MaxDegrade: 2})
+	defer s.Close()
+	if err := s.Register("halos", pts); err != nil {
+		t.Fatal(err)
+	}
+	fine := testSpec(64, 4)
+	coarse, ok := Coarsen(fine, 1)
+	if !ok {
+		t.Fatal("64×64 should coarsen")
+	}
+	// Warm the degrade ladder.
+	cResp, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: coarse})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the worker, then the queue slot, with long renders we cancel
+	// at the end of the test. Sequencing on the Active/QueueLen gauges
+	// makes the overload state deterministic: the worker is deep in a
+	// multi-second render, so the full queue cannot drain under us.
+	hold, release := context.WithCancel(context.Background())
+	defer release()
+	occupy := func(seed int64) {
+		big := testSpec(1024, seed)
+		big.Samples = 2
+		go s.Serve(hold, Request{Catalog: "halos", Spec: big}) //nolint:errcheck
+	}
+	waitFor := func(what string, cond func(Stats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond(s.Stats()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never happened", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	occupy(10)
+	waitFor("worker pickup", func(st Stats) bool { return st.Active == 1 && st.QueueLen == 0 })
+	occupy(11)
+	waitFor("queue fill", func(st Stats) bool { return st.QueueLen == 1 })
+
+	resp, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: fine})
+	if err != nil {
+		t.Fatalf("expected degraded response, got error %v", err)
+	}
+	if !resp.Degraded || resp.DegradeLevel != 1 {
+		t.Fatalf("response not degraded: %+v", resp)
+	}
+	if resp.Checksum != cResp.Checksum {
+		t.Fatal("degraded response is not the cached coarse grid")
+	}
+	if st := s.Stats(); st.Degraded == 0 {
+		t.Fatal("degraded counter never incremented")
+	}
+
+	// With the ladder cold (different seed → nothing cached at any coarser
+	// level), the same overload sheds with a typed, hinted error.
+	cold := testSpec(64, 77)
+	_, err = s.Serve(context.Background(), Request{Catalog: "halos", Spec: cold})
+	var oe *OverloadError
+	if !errors.As(err, &oe) || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("cold overload: err = %v, want *OverloadError", err)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Fatal("shed without a retry-after hint")
+	}
+}
+
+// Poisoned cache entries are caught by hit-time checksum verification:
+// the corrupt grid is never served, the entry is evicted, and the field
+// is recomputed bit-identically.
+func TestPoisonDetection(t *testing.T) {
+	pts := testPoints(600, 11)
+	inj := faultInjectorAllPoison()
+	s := New(Options{Workers: 1, Fault: inj})
+	defer s.Close()
+	if err := s.Register("halos", pts); err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(32, 5)
+	want := directChecksum(t, pts, spec)
+
+	first, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Checksum != want {
+		t.Fatal("filling request served poisoned bits")
+	}
+	second, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHit {
+		t.Fatal("poisoned entry served as a cache hit")
+	}
+	if second.Checksum != want || second.Grid.Checksum() != want {
+		t.Fatal("recomputed grid is not bit-identical")
+	}
+	if st := s.Stats(); st.Poisoned == 0 {
+		t.Fatal("poison detection never fired")
+	}
+}

@@ -86,6 +86,36 @@ func (g *Grid2D) MinMax() (lo, hi float64) {
 	return
 }
 
+// Checksum returns an FNV-1a hash over the grid's shape, placement, and
+// the exact bit patterns of every cell. Two grids have equal checksums iff
+// they are bit-identical (up to hash collision), which is what the serving
+// layer's cache-integrity verification and the distributed render's
+// bit-exactness assertions need: float equality would miss NaN payloads
+// and signed zeros that WritePGM and downstream consumers can observe.
+func (g *Grid2D) Checksum() uint64 {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(g.Nx))
+	mix(uint64(g.Ny))
+	mix(math.Float64bits(g.Min.X))
+	mix(math.Float64bits(g.Min.Y))
+	mix(math.Float64bits(g.Cell))
+	for _, v := range g.Data {
+		mix(math.Float64bits(v))
+	}
+	return h
+}
+
 // Clone returns a deep copy.
 func (g *Grid2D) Clone() *Grid2D {
 	out := NewGrid2D(g.Nx, g.Ny, g.Min, g.Cell)

@@ -150,3 +150,42 @@ func TestWritePGM(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestChecksum(t *testing.T) {
+	g := NewGrid2D(4, 3, geom.Vec2{X: 1, Y: 2}, 0.5)
+	for i := range g.Data {
+		g.Data[i] = float64(i) * 1.25
+	}
+	sum := g.Checksum()
+	if sum != g.Clone().Checksum() {
+		t.Fatal("checksum not a pure function of contents")
+	}
+	// Any single-bit flip in any cell must change the sum.
+	for i := range g.Data {
+		c := g.Clone()
+		c.Data[i] = math.Float64frombits(math.Float64bits(c.Data[i]) ^ 1)
+		if c.Checksum() == sum {
+			t.Fatalf("bit flip in cell %d not detected", i)
+		}
+	}
+	// Shape and placement participate: a transposed or shifted grid with
+	// the same payload hashes differently.
+	tr := NewGrid2D(3, 4, geom.Vec2{X: 1, Y: 2}, 0.5)
+	copy(tr.Data, g.Data)
+	if tr.Checksum() == sum {
+		t.Fatal("transposed grid collides")
+	}
+	sh := g.Clone()
+	sh.Min.X += 1
+	if sh.Checksum() == sum {
+		t.Fatal("shifted grid collides")
+	}
+	// -0.0 and +0.0 compare equal as floats but are different bits; the
+	// checksum must distinguish them (bit-identity, not value identity).
+	z := g.Clone()
+	z.Data[0] = math.Copysign(0, -1)
+	g.Data[0] = 0
+	if z.Checksum() == g.Checksum() {
+		t.Fatal("-0.0 vs +0.0 collides")
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -65,6 +66,19 @@ type DistRenderResult struct {
 // mpi.World (message level) and via world injectors are honored the same
 // way the recovery pipeline honors them.
 func RunDistributedRender(c *mpi.Comm, cfg DistRenderConfig, pts []geom.Vec3) (*DistRenderResult, error) {
+	return RunDistributedRenderCtx(context.Background(), c, cfg, pts)
+}
+
+// RunDistributedRenderCtx is RunDistributedRender under a caller context:
+// cancelling ctx (or its deadline passing) makes the rank-0 coordinator
+// stop dispatching, shut the surviving workers down cleanly, and return
+// the partial result with a typed *distrender.CancelledError instead of
+// leaking the run. The ingest phase is also gated on ctx so a dead caller
+// never pays for validation.
+func RunDistributedRenderCtx(ctx context.Context, c *mpi.Comm, cfg DistRenderConfig, pts []geom.Vec3) (*DistRenderResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	dcfg := distrender.Config{
 		Spec:                 cfg.Spec,
 		Tiles:                cfg.Tiles,
@@ -84,10 +98,13 @@ func RunDistributedRender(c *mpi.Comm, cfg DistRenderConfig, pts []geom.Vec3) (*
 		NoCoordinatorCompute: cfg.NoCoordinatorCompute,
 	}
 	if c.Rank() != 0 {
-		_, err := distrender.Run(c, dcfg, nil)
+		_, err := distrender.RunCtx(ctx, c, dcfg, nil)
 		return nil, err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: distributed render: %w", err)
+	}
 	out := &DistRenderResult{}
 	start := time.Now()
 	clean, _, report, err := particleio.ValidateParticles(pts, nil, cfg.Ingest)
@@ -98,7 +115,7 @@ func RunDistributedRender(c *mpi.Comm, cfg DistRenderConfig, pts []geom.Vec3) (*
 	out.IngestTime = time.Since(start)
 
 	start = time.Now()
-	res, err := distrender.Run(c, dcfg, clean)
+	res, err := distrender.RunCtx(ctx, c, dcfg, clean)
 	out.Result = res
 	out.RenderTime = time.Since(start)
 	return out, err

@@ -32,6 +32,7 @@
 package distrender
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -192,16 +193,81 @@ type Result struct {
 // Result; workers return (nil, nil) after a clean shutdown. All ranks of
 // the communicator must call Run with an equivalent Config.
 func Run(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
+	return RunCtx(context.Background(), c, cfg, pts)
+}
+
+// RunCtx is Run under a caller context, observed on the coordinator rank:
+// when ctx is cancelled or its deadline passes, rank 0 stops dispatching,
+// aborts any self-compute march at the next column, shuts the surviving
+// workers down cleanly (they finish their current tile, see the shutdown
+// message, and exit — no goroutine leaks), and returns the partial Result
+// flagged Incomplete together with a *CancelledError. Worker ranks ignore
+// ctx; they are driven entirely by the coordinator's protocol, so a single
+// cancelled coordinator drains the whole world.
+func RunCtx(ctx context.Context, c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 	if err := cfg.Spec.Validate(false); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if cfg.MaxSendRetries > 0 {
 		c.SetMaxSendRetries(cfg.MaxSendRetries)
 	}
 	if c.Rank() == 0 {
-		return coordinate(c, cfg, pts)
+		return coordinate(ctx, c, cfg, pts)
 	}
 	return nil, work(c, cfg)
+}
+
+// CancelledError reports a distributed render cut short by its caller's
+// context. It wraps the context cause, so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) both work, and carries the
+// partial-progress accounting the caller's report needs.
+type CancelledError struct {
+	Cause       error
+	Done, Total int // tiles stitched before the cut vs tiles overall
+}
+
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("distrender: render cancelled with %d/%d tiles stitched: %v",
+		e.Done, e.Total, e.Cause)
+}
+
+func (e *CancelledError) Unwrap() error { return e.Cause }
+
+// abort finalizes a caller-cancelled render: the shutdown closure tells
+// the surviving workers to exit, the partial result is flagged Incomplete
+// through the normal finalize path, and the returned error is the typed
+// CancelledError (which supersedes finalize's own incompleteness error).
+func (co *coord) abort(ctx context.Context, shutdown func()) (*Result, error) {
+	cause := context.Cause(ctx)
+	co.res.Failures = append(co.res.Failures, fmt.Sprintf("render cancelled by caller: %v", cause))
+	shutdown()
+	res, _ := co.finalize()
+	res.Incomplete = true
+	return res, &CancelledError{Cause: cause, Done: len(co.have), Total: len(co.tiles)}
+}
+
+// ctxWait caps an event-driven gather wait so a cancellable context is
+// observed promptly: a context deadline bounds the wait exactly, and a
+// plain cancellation is polled at 100ms (only contexts with a Done channel
+// pay this; Background keeps the full event-driven wait).
+func ctxWait(ctx context.Context, wait time.Duration) time.Duration {
+	if ctx.Done() == nil {
+		return wait
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if r := time.Until(d); r < wait {
+			wait = r
+		}
+	} else if wait > 100*time.Millisecond {
+		wait = 100 * time.Millisecond
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	return wait
 }
 
 // buildMarcher triangulates a catalog and prepares the SoA kernel. The
@@ -236,8 +302,12 @@ func subsetFor(spec render.Spec, t render.Tile, gl, gr int, halo float64, pts []
 
 // marchTile renders one assignment: the owned tile plus any guard columns,
 // against either the replicated marcher or a subset triangulation built
-// from the message's particles.
-func marchTile(cfg Config, m *render.Marcher, msg tileMsg) (res tileResult, err error) {
+// from the message's particles. ctx aborts the march at the next column
+// (the coordinator's self-compute path passes its caller's context;
+// workers pass Background and rely on the shutdown protocol instead). A
+// context error propagates as the rank-level error — it is the caller
+// cancelling, not the tile failing.
+func marchTile(ctx context.Context, cfg Config, m *render.Marcher, msg tileMsg) (res tileResult, err error) {
 	res.Tile = msg.Tile
 	if msg.Subset {
 		// An empty subset (void tile) fails the triangulation build; that
@@ -249,8 +319,11 @@ func marchTile(cfg Config, m *render.Marcher, msg tileMsg) (res tileResult, err 
 	}
 	spec := cfg.Spec
 	owned := render.Tile{I0: msg.I0, I1: msg.I1}
-	g, stats, err := m.RenderTile(spec, owned, cfg.Workers, cfg.Sched)
+	g, stats, err := m.RenderTileCtx(ctx, spec, owned, cfg.Workers, cfg.Sched)
 	if err != nil {
+		if ctx.Err() != nil {
+			return res, err
+		}
 		res.Err = err.Error()
 		return res, nil
 	}
@@ -264,16 +337,22 @@ func marchTile(cfg Config, m *render.Marcher, msg tileMsg) (res tileResult, err 
 		gl, gr = 0, 0
 	}
 	if gl > 0 {
-		gL, _, err := m.RenderTile(spec, render.Tile{I0: msg.I0 - gl, I1: msg.I0}, cfg.Workers, cfg.Sched)
+		gL, _, err := m.RenderTileCtx(ctx, spec, render.Tile{I0: msg.I0 - gl, I1: msg.I0}, cfg.Workers, cfg.Sched)
 		if err != nil {
+			if ctx.Err() != nil {
+				return res, err
+			}
 			res.Err = err.Error()
 			return res, nil
 		}
 		res.GuardL = gL
 	}
 	if gr > 0 {
-		gR, _, err := m.RenderTile(spec, render.Tile{I0: msg.I1, I1: msg.I1 + gr}, cfg.Workers, cfg.Sched)
+		gR, _, err := m.RenderTileCtx(ctx, spec, render.Tile{I0: msg.I1, I1: msg.I1 + gr}, cfg.Workers, cfg.Sched)
 		if err != nil {
+			if ctx.Err() != nil {
+				return res, err
+			}
 			res.Err = err.Error()
 			return res, nil
 		}
@@ -321,7 +400,7 @@ func work(c *mpi.Comm, cfg Config) error {
 			marcher = m
 		}
 		start := time.Now()
-		res, err := marchTile(cfg, marcher, msg)
+		res, err := marchTile(context.Background(), cfg, marcher, msg)
 		if err != nil {
 			return err
 		}
@@ -447,8 +526,9 @@ func (co *coord) accept(meta tileResult, g *grid.Grid2D, gi0 int) bool {
 func (co *coord) complete() bool { return len(co.have) == len(co.tiles) }
 
 // selfCompute marches one tile on the coordinator (the fallback of last
-// resort when no live worker can take it).
-func (co *coord) selfCompute(k int, marcher **render.Marcher) error {
+// resort when no live worker can take it). ctx aborts the march at the
+// next column so a cancelled caller is not stuck behind a full self-march.
+func (co *coord) selfCompute(ctx context.Context, k int, marcher **render.Marcher) error {
 	msg := co.msgFor(k)
 	var m *render.Marcher
 	if !co.subset {
@@ -462,7 +542,7 @@ func (co *coord) selfCompute(k int, marcher **render.Marcher) error {
 		m = *marcher
 		msg.Particles = nil
 	}
-	r, err := marchTile(co.cfg, m, msg)
+	r, err := marchTile(ctx, co.cfg, m, msg)
 	if err != nil {
 		return err
 	}
@@ -522,7 +602,7 @@ func gatherTopology(cfg Config, size int) (tree bool, fanout int) {
 // coordinate is the rank-0 side: tile the grid, broadcast setup, then
 // drive the flat work queue or the reduction tree, stream-stitching
 // results as they arrive.
-func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
+func coordinate(ctx context.Context, c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 	spec := cfg.Spec
 	if err := spec.Validate(false); err != nil {
 		return nil, err
@@ -577,9 +657,9 @@ func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 	}
 
 	if tree {
-		return coordinateTree(c, cfg, co, dead, fanout)
+		return coordinateTree(ctx, c, cfg, co, dead, fanout)
 	}
-	return coordinateFlat(c, cfg, co, dead)
+	return coordinateFlat(ctx, c, cfg, co, dead)
 }
 
 // coordinateFlat drives the PR 5 dynamic work queue: one assignment in
@@ -587,7 +667,7 @@ func coordinate(c *mpi.Comm, cfg Config, pts []geom.Vec3) (*Result, error) {
 // gather wait is event-driven — it blocks until a result, a world
 // membership change, or the earliest assignment deadline — so an idle
 // gather burns no CPU and rank death is observed the moment it happens.
-func coordinateFlat(c *mpi.Comm, cfg Config, co *coord, dead map[int]bool) (*Result, error) {
+func coordinateFlat(ctx context.Context, c *mpi.Comm, cfg Config, co *coord, dead map[int]bool) (*Result, error) {
 	res := co.res
 	queue := make([]int, len(co.tiles))
 	for k := range queue {
@@ -596,6 +676,14 @@ func coordinateFlat(c *mpi.Comm, cfg Config, co *coord, dead map[int]bool) (*Res
 	inflight := make(map[int]assignment) // rank → its current assignment
 	var coordMarcher *render.Marcher
 	epoch := c.FailureEpoch()
+
+	shutdown := func() {
+		for r := 1; r < c.Size(); r++ {
+			if !dead[r] {
+				_ = c.Send(r, tagAssign, tileMsg{Shutdown: true})
+			}
+		}
+	}
 
 	markDead := func(r int) {
 		if dead[r] {
@@ -613,6 +701,9 @@ func coordinateFlat(c *mpi.Comm, cfg Config, co *coord, dead map[int]bool) (*Res
 	}
 
 	for !co.complete() {
+		if ctx.Err() != nil {
+			return co.abort(ctx, shutdown)
+		}
 		for _, r := range c.FailedRanks() {
 			markDead(r)
 		}
@@ -673,7 +764,10 @@ func coordinateFlat(c *mpi.Comm, cfg Config, co *coord, dead map[int]bool) (*Res
 				if _, have := co.have[k]; have {
 					continue
 				}
-				if err := co.selfCompute(k, &coordMarcher); err != nil {
+				if err := co.selfCompute(ctx, k, &coordMarcher); err != nil {
+					if ctx.Err() != nil {
+						return co.abort(ctx, shutdown)
+					}
 					return nil, err
 				}
 				continue
@@ -695,9 +789,7 @@ func coordinateFlat(c *mpi.Comm, cfg Config, co *coord, dead map[int]bool) (*Res
 				wait = d
 			}
 		}
-		if wait < 0 {
-			wait = 0
-		}
+		wait = ctxWait(ctx, wait)
 		msg, ep, err := c.RecvTolerant([]int{tagResult, tagFrame}, epoch, wait)
 		epoch = ep
 		if err != nil {
@@ -734,11 +826,7 @@ func coordinateFlat(c *mpi.Comm, cfg Config, co *coord, dead map[int]bool) (*Res
 	}
 
 	// Shutdown the survivors; a failed send here is harmless.
-	for r := 1; r < c.Size(); r++ {
-		if !dead[r] {
-			_ = c.Send(r, tagAssign, tileMsg{Shutdown: true})
-		}
-	}
+	shutdown()
 
 	return co.finalize()
 }

@@ -2,6 +2,7 @@ package distrender
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -388,7 +389,7 @@ func TestChaosStaleStragglerResultThenLoss(t *testing.T) {
 	go func() {
 		done <- w.RunEach(func(c *mpi.Comm) error {
 			if c.Rank() == 0 {
-				res, resErr = coordinate(c, cfg, pts)
+				res, resErr = coordinate(context.Background(), c, cfg, pts)
 				return resErr
 			}
 			var setup setupMsg
@@ -408,7 +409,7 @@ func TestChaosStaleStragglerResultThenLoss(t *testing.T) {
 			if _, err := c.Recv(0, tagAssign, &second); err != nil {
 				return err
 			}
-			stale, err := marchTile(cfg, m, first)
+			stale, err := marchTile(context.Background(), cfg, m, first)
 			if err != nil {
 				return err
 			}
@@ -429,7 +430,7 @@ func TestChaosStaleStragglerResultThenLoss(t *testing.T) {
 				if msg.Shutdown {
 					return nil
 				}
-				r, err := marchTile(cfg, m, msg)
+				r, err := marchTile(context.Background(), cfg, m, msg)
 				if err != nil {
 					return err
 				}

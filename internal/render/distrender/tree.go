@@ -33,6 +33,7 @@
 package distrender
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -75,10 +76,18 @@ func clampDuration(d, lo, hi time.Duration) time.Duration {
 // coordinateTree drives the root side of the reduction tree: static
 // round-robin batches out, streamed frames in, per-rank deadlines driving
 // subtree re-dispatch.
-func coordinateTree(c *mpi.Comm, cfg Config, co *coord, dead map[int]bool, fanout int) (*Result, error) {
+func coordinateTree(ctx context.Context, c *mpi.Comm, cfg Config, co *coord, dead map[int]bool, fanout int) (*Result, error) {
 	res := co.res
 	timeout := cfg.tileTimeout()
 	var coordMarcher *render.Marcher
+
+	shutdown := func() {
+		for r := 1; r < c.Size(); r++ {
+			if !dead[r] && c.Alive(r) {
+				_ = c.Send(r, tagBatch, assignBatch{Shutdown: true})
+			}
+		}
+	}
 
 	pending := make(map[int][]int)      // rank → tiles assigned, not yet arrived
 	owner := make(map[int]int)          // tile → rank currently responsible
@@ -176,6 +185,9 @@ func coordinateTree(c *mpi.Comm, cfg Config, co *coord, dead map[int]bool, fanou
 
 	epoch := c.FailureEpoch()
 	for !co.complete() {
+		if ctx.Err() != nil {
+			return co.abort(ctx, shutdown)
+		}
 		for _, r := range c.FailedRanks() {
 			markDeadTree(r)
 		}
@@ -201,7 +213,10 @@ func coordinateTree(c *mpi.Comm, cfg Config, co *coord, dead map[int]bool, fanou
 			}
 			for k := range co.tiles {
 				if _, ok := co.have[k]; !ok {
-					if err := co.selfCompute(k, &coordMarcher); err != nil {
+					if err := co.selfCompute(ctx, k, &coordMarcher); err != nil {
+						if ctx.Err() != nil {
+							return co.abort(ctx, shutdown)
+						}
 						return nil, err
 					}
 				}
@@ -236,9 +251,7 @@ func coordinateTree(c *mpi.Comm, cfg Config, co *coord, dead map[int]bool, fanou
 				wait = rem
 			}
 		}
-		if wait < 0 {
-			wait = 0
-		}
+		wait = ctxWait(ctx, wait)
 		msg, ep, err := c.RecvTolerant([]int{tagFrame, tagResult}, epoch, wait)
 		epoch = ep
 		if err != nil {
@@ -275,11 +288,7 @@ func coordinateTree(c *mpi.Comm, cfg Config, co *coord, dead map[int]bool, fanou
 		}
 	}
 
-	for r := 1; r < c.Size(); r++ {
-		if !dead[r] && c.Alive(r) {
-			_ = c.Send(r, tagBatch, assignBatch{Shutdown: true})
-		}
-	}
+	shutdown()
 	return co.finalize()
 }
 
@@ -392,7 +401,7 @@ func workTree(c *mpi.Comm, cfg Config, setup setupMsg) error {
 						marcher = mm
 					}
 					start := time.Now()
-					r, err := marchTile(cfg, marcher, m)
+					r, err := marchTile(context.Background(), cfg, marcher, m)
 					if err != nil {
 						return err
 					}

@@ -1,7 +1,9 @@
 package render
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"godtfe/internal/delaunay"
 	"godtfe/internal/dtfe"
@@ -122,11 +124,23 @@ func NewMarcher(f *dtfe.Field) *Marcher {
 // loop on `workers` goroutines under the given schedule, and returns
 // per-worker stats.
 func (m *Marcher) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, []WorkerStat, error) {
+	return m.RenderCtx(context.Background(), spec, workers, sched)
+}
+
+// RenderCtx is Render under a context: cancellation or deadline expiry
+// aborts the column loop at the next column boundary (each worker checks a
+// shared flag once per line of sight, so a cancelled render releases its
+// workers within one column march) and returns the context's error with a
+// nil grid. An uncancelled RenderCtx is bit-identical to Render.
+func (m *Marcher) RenderCtx(ctx context.Context, spec Spec, workers int, sched Schedule) (*grid.Grid2D, []WorkerStat, error) {
 	if err := spec.Validate(false); err != nil {
 		return nil, nil, err
 	}
 	out := spec.Grid()
-	stats := m.renderInto(spec, Tile{I0: 0, I1: spec.Nx}, out, workers, sched)
+	stats, err := m.renderIntoCtx(ctx, spec, Tile{I0: 0, I1: spec.Nx}, out, workers, sched)
+	if err != nil {
+		return nil, stats, err
+	}
 	return out, stats, nil
 }
 
@@ -136,6 +150,12 @@ func (m *Marcher) Render(spec Spec, workers int, sched Schedule) (*grid.Grid2D, 
 // to the same cell of a whole-grid Render — the invariant the distributed
 // fan-out's stitch relies on.
 func (m *Marcher) RenderTile(spec Spec, t Tile, workers int, sched Schedule) (*grid.Grid2D, []WorkerStat, error) {
+	return m.RenderTileCtx(context.Background(), spec, t, workers, sched)
+}
+
+// RenderTileCtx is RenderTile under a context, with RenderCtx's
+// cancellation semantics.
+func (m *Marcher) RenderTileCtx(ctx context.Context, spec Spec, t Tile, workers int, sched Schedule) (*grid.Grid2D, []WorkerStat, error) {
 	if err := spec.Validate(false); err != nil {
 		return nil, nil, err
 	}
@@ -143,16 +163,51 @@ func (m *Marcher) RenderTile(spec Spec, t Tile, workers int, sched Schedule) (*g
 		return nil, nil, err
 	}
 	out := spec.TileGrid(t)
-	stats := m.renderInto(spec, t, out, workers, sched)
+	stats, err := m.renderIntoCtx(ctx, spec, t, out, workers, sched)
+	if err != nil {
+		return nil, stats, err
+	}
 	return out, stats, nil
+}
+
+// renderIntoCtx wraps renderInto with context observation. The context is
+// watched by one goroutine that flips an atomic flag, so the render loop
+// pays a single atomic load per column instead of a channel select, and a
+// context with a nil Done channel costs nothing at all.
+func (m *Marcher) renderIntoCtx(ctx context.Context, spec Spec, t Tile, out *grid.Grid2D, workers int, sched Schedule) ([]WorkerStat, error) {
+	var cancelled *atomic.Bool
+	if ctx != nil && ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cancelled = new(atomic.Bool)
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				cancelled.Store(true)
+			case <-stop:
+			}
+		}()
+	}
+	stats := m.renderInto(spec, t, out, workers, sched, cancelled)
+	if cancelled != nil && cancelled.Load() {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
 }
 
 // renderInto is the shared column loop of Render and RenderTile: march the
 // tile's columns [t.I0, t.I1) of every row into out (whose column 0 holds
 // global column t.I0). Entry-location cursors are seeded per worker; the
 // coherent entry walk is bit-exact regardless of seeding, so tile renders
-// and whole-grid renders agree cell for cell.
-func (m *Marcher) renderInto(spec Spec, t Tile, out *grid.Grid2D, workers int, sched Schedule) []WorkerStat {
+// and whole-grid renders agree cell for cell. A non-nil cancelled flag is
+// polled once per column; once set, every worker abandons its remaining
+// columns immediately (the partial grid is then discarded by the caller).
+func (m *Marcher) renderInto(spec Spec, t Tile, out *grid.Grid2D, workers int, sched Schedule, cancelled *atomic.Bool) []WorkerStat {
 	samples := spec.Samples
 	if samples < 1 {
 		samples = 1
@@ -167,6 +222,9 @@ func (m *Marcher) renderInto(spec Spec, t Tile, out *grid.Grid2D, workers int, s
 	return forEachRow(spec.Ny, workers, sched, func(w, j int, st *WorkerStat) {
 		cur := &cursors[w]
 		for i := t.I0; i < t.I1; i++ {
+			if cancelled != nil && cancelled.Load() {
+				return
+			}
 			var acc float64
 			for s := 0; s < samples; s++ {
 				// Global-index cell center: the exact expression
