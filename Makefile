@@ -28,7 +28,7 @@ race:
 # of wedging CI.
 chaos:
 	$(GO) test -race -timeout 180s -run 'Chaos|Fault|Recover|Crash|Straggler|Tolerant|Attribution|Tree' \
-		./internal/mpi/... ./internal/fault/... ./internal/pipeline/... ./internal/render/distrender/...
+		./internal/mpi/... ./internal/fault/... ./internal/pipeline/... ./internal/render/distrender/... ./internal/delaunay/...
 
 # Overload smoke: the resident field service at 2x capacity under the
 # race detector — the real service (bounded queue, shedding, degrade
@@ -38,11 +38,12 @@ serve-smoke:
 	$(GO) test -race -timeout 300s -run 'OverloadSmoke' ./internal/fieldserve/ ./internal/vtime/
 
 # Regression benchmarks: run the kernel/entry/codec/build/predicate/
-# distributed-render/field-service suite
-# and write BENCH_PR7.json with ns/op, allocs/op, and speedup ratios
-# against the checked-in baseline in bench/baseline_pr7.json.
+# distributed-render/field-service suite (including the /parN
+# block-parallel Delaunay builds) and write BENCH_PR8.json with ns/op,
+# allocs/op, and speedup ratios against the checked-in baseline in
+# bench/baseline_pr8.json.
 bench:
-	$(GO) run ./cmd/dtfe-bench -out BENCH_PR7.json -baseline bench/baseline_pr7.json
+	$(GO) run ./cmd/dtfe-bench -out BENCH_PR8.json -baseline bench/baseline_pr8.json
 
 # Forced-exact predicate microbenchmarks only: the quickest check that a
 # predicates change kept the fallback path fast and allocation-free.
@@ -60,6 +61,7 @@ bench-smoke:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParticleIO -fuzztime 10s ./internal/particleio/
 	$(GO) test -run '^$$' -fuzz FuzzDelaunayInsert -fuzztime 10s ./internal/delaunay/
+	$(GO) test -run '^$$' -fuzz FuzzDelaunayParallelStitch -fuzztime 10s ./internal/delaunay/
 	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime 10s ./internal/mpi/
 	$(GO) test -run '^$$' -fuzz FuzzPredicatesExact -fuzztime 10s ./internal/geom/
 

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	dtfe-bench [-out BENCH_PR7.json] [-baseline bench/baseline_pr7.json]
+//	dtfe-bench [-out BENCH_PR8.json] [-baseline bench/baseline_pr8.json]
 //	           [-bench REGEX] [-benchtime 2s] [-count 1] [-label NAME]
 package main
 
@@ -36,10 +36,15 @@ type BenchResult struct {
 // Report is the file schema shared by the checked-in baseline and the
 // generated report.
 type Report struct {
-	Label      string                  `json:"label"`
-	Commit     string                  `json:"commit,omitempty"`
-	Host       string                  `json:"host,omitempty"`
-	Go         string                  `json:"go,omitempty"`
+	Label  string `json:"label"`
+	Commit string `json:"commit,omitempty"`
+	Host   string `json:"host,omitempty"`
+	Go     string `json:"go,omitempty"`
+	// GoMaxProcs/NumCPU record the parallelism available to the run:
+	// the /parN sub-benchmarks are meaningless without knowing how many
+	// cores they actually had.
+	GoMaxProcs int                     `json:"gomaxprocs,omitempty"`
+	NumCPU     int                     `json:"numcpu,omitempty"`
 	Benchmarks map[string]*BenchResult `json:"benchmarks"`
 
 	// Baseline carries the comparison baseline verbatim, and Speedup the
@@ -83,8 +88,8 @@ func gitCommit() string {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_PR7.json", "report output path")
-		baseline  = flag.String("baseline", "bench/baseline_pr7.json", "baseline report to compare against (empty to skip)")
+		out       = flag.String("out", "BENCH_PR8.json", "report output path")
+		baseline  = flag.String("baseline", "bench/baseline_pr8.json", "baseline report to compare against (empty to skip)")
 		benchRe   = flag.String("bench", "BenchmarkKernel|BenchmarkEntry|BenchmarkCodec|BenchmarkDelaunayBuild|BenchmarkPredicate|BenchmarkDistRender|BenchmarkFieldServe", "benchmark regex passed to go test")
 		benchtime = flag.String("benchtime", "2s", "go test -benchtime")
 		count     = flag.Int("count", 1, "go test -count")
@@ -111,6 +116,8 @@ func main() {
 		Label:      *label,
 		Commit:     gitCommit(),
 		Go:         runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Benchmarks: parseBench(buf.Bytes()),
 	}
 	if len(rep.Benchmarks) == 0 {

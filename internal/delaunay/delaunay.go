@@ -105,9 +105,13 @@ type faceRef struct {
 }
 
 // New builds the Delaunay triangulation of pts. Points are inserted in
-// Morton order for locality. Exact duplicates are merged (see DuplicateOf).
-// It returns geomerr.ErrDegenerateInput if any point is non-finite or
-// fewer than four affinely independent points exist, and
+// Hilbert-curve order for locality (see geom.HilbertOrder) and the tet pool
+// is compacted into canonical Hilbert order afterwards (see compact.go), so
+// the result is a pure function of the point set: any two builds of the
+// same points — whatever the insertion order or block decomposition —
+// produce deeply equal Triangulations. Exact duplicates are merged (see
+// DuplicateOf). It returns geomerr.ErrDegenerateInput if any point is
+// non-finite or fewer than four affinely independent points exist, and
 // geomerr.ErrMeshCorrupt if a structural invariant breaks during
 // construction (the triangulation is then unusable). It never panics.
 func New(pts []geom.Vec3) (*Triangulation, error) {
@@ -115,13 +119,27 @@ func New(pts []geom.Vec3) (*Triangulation, error) {
 }
 
 // NewInputOrder builds the triangulation inserting points in input order
-// (no Morton/BRIO locality sort). It exists for the insertion-order
-// ablation benchmark; prefer New.
+// (no space-filling-curve locality sort). It exists for the insertion-order
+// ablation benchmark; prefer New. The result is still canonicalized, so it
+// is deeply equal to New's.
 func NewInputOrder(pts []geom.Vec3) (*Triangulation, error) {
 	return build(pts, false)
 }
 
-func build(pts []geom.Vec3, morton bool) (*Triangulation, error) {
+func build(pts []geom.Vec3, brio bool) (*Triangulation, error) {
+	t, err := buildRaw(pts, brio)
+	if err != nil {
+		return nil, err
+	}
+	t.compact()
+	return t, nil
+}
+
+// buildRaw is the serial incremental build without the canonical
+// compaction pass. The block-parallel builder (parallel.go) uses it for
+// per-block and repair triangulations, which are consumed tet-by-tet and
+// never exposed, so compacting them would be wasted work.
+func buildRaw(pts []geom.Vec3, brio bool) (*Triangulation, error) {
 	if len(pts) < 4 {
 		return nil, geomerr.Degenerate("delaunay.New", "need at least 4 points, got %d", len(pts))
 	}
@@ -148,8 +166,8 @@ func build(pts []geom.Vec3, morton bool) (*Triangulation, error) {
 	}
 
 	var order []int
-	if morton {
-		order = geom.MortonOrder(pts)
+	if brio {
+		order = geom.HilbertOrder(pts)
 	} else {
 		order = make([]int, len(pts))
 		for i := range order {

@@ -89,6 +89,9 @@ func FuzzDelaunayInsert(f *testing.F) {
 	}
 	seed(lattice) // cospherical shells everywhere
 	seed([]geom.Vec3{{}, {X: 1}, {Y: 1}, {Z: 1}, {X: 1, Y: 1, Z: 1}, {X: math.Inf(1)}})
+	for _, s := range stitchBoundarySeeds() {
+		seed(s)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pts := decodeFuzzPoints(data, 48)
@@ -103,6 +106,114 @@ func FuzzDelaunayInsert(f *testing.F) {
 		}
 		if err := tri.Validate(); err != nil {
 			t.Fatalf("accepted mesh fails validation: %v", err)
+		}
+	})
+}
+
+// stitchBoundarySeeds are point sets engineered to land on or straddle the
+// split planes of small block decompositions — the seams the parallel
+// stitcher certifies across. Shared by FuzzDelaunayInsert (serial
+// robustness) and FuzzDelaunayParallelStitch (differential).
+func stitchBoundarySeeds() [][]geom.Vec3 {
+	var seeds [][]geom.Vec3
+
+	// A plane of points exactly at the x midpoint of the occupied range,
+	// plus corner anchors pinning the bounding box.
+	var seam []geom.Vec3
+	for j := 0; j < 4; j++ {
+		for k := 0; k < 4; k++ {
+			seam = append(seam, geom.Vec3{X: 8.0 / 16, Y: float64(4 * j), Z: float64(4 * k)})
+		}
+	}
+	seam = append(seam, geom.Vec3{}, geom.Vec3{X: 1, Y: 12, Z: 12})
+	seeds = append(seeds, seam)
+
+	// Coincident pairs astride every quarter plane: duplicates whose
+	// canonical points sit in different blocks of a 4-way split.
+	var astride []geom.Vec3
+	for i := 0; i < 4; i++ {
+		q := float64(4*i) / 16
+		p := geom.Vec3{X: q, Y: q, Z: q}
+		astride = append(astride, p, p,
+			geom.Vec3{X: q, Y: 15.0 / 16, Z: float64(i) / 16})
+	}
+	astride = append(astride, geom.Vec3{X: 15.0 / 16, Y: 0, Z: 15.0 / 16})
+	seeds = append(seeds, astride)
+
+	// Two dense clusters separated by a void: the split plane falls in the
+	// void, so every tet crosses it.
+	var voids []geom.Vec3
+	for i := 0; i < 8; i++ {
+		voids = append(voids,
+			geom.Vec3{X: float64(i%2) / 16, Y: float64(i/2%2) / 16, Z: float64(i/4) / 16},
+			geom.Vec3{X: (14 + float64(i%2)) / 16, Y: (14 + float64(i/2%2)) / 16, Z: (14 + float64(i/4)) / 16})
+	}
+	seeds = append(seeds, voids)
+
+	return seeds
+}
+
+// FuzzDelaunayParallelStitch is the differential fuzz target for the
+// block-parallel builder: on any decoded point set, NewWithOptions must
+// either fail exactly like New (same taxonomy) or produce a deeply equal
+// triangulation. The decomposition geometry is varied by deriving the
+// block count from the input length.
+func FuzzDelaunayParallelStitch(f *testing.F) {
+	seed := func(pts []geom.Vec3) {
+		b := make([]byte, 0, 3*len(pts))
+		for _, p := range pts {
+			enc := func(v float64) byte {
+				if math.IsNaN(v) {
+					return 0xff
+				}
+				if math.IsInf(v, 0) {
+					return 0xfe
+				}
+				return byte(v * 16)
+			}
+			b = append(b, enc(p.X), enc(p.Y), enc(p.Z))
+		}
+		f.Add(b)
+	}
+	for _, s := range stitchBoundarySeeds() {
+		seed(s)
+	}
+	var grid []geom.Vec3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				grid = append(grid, geom.Vec3{X: float64(i), Y: float64(j), Z: float64(k)})
+			}
+		}
+	}
+	seed(grid)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts := decodeFuzzPoints(data, 48)
+		blocks := 2 << (len(data) % 3) // 2, 4, or 8
+		par, perr := NewWithOptions(pts, BuildOptions{Parallelism: 2, Blocks: blocks, MinParallel: -1})
+		ser, serr := New(pts)
+		if (perr == nil) != (serr == nil) {
+			t.Fatalf("parallel err=%v, serial err=%v", perr, serr)
+		}
+		if perr != nil {
+			if !errors.Is(perr, geomerr.ErrDegenerateInput) &&
+				!errors.Is(perr, geomerr.ErrMeshCorrupt) &&
+				!errors.Is(perr, geomerr.ErrLocateDiverged) {
+				t.Fatalf("error outside the taxonomy: %v", perr)
+			}
+			return
+		}
+		if err := par.Validate(); err != nil {
+			t.Fatalf("parallel mesh fails validation: %v", err)
+		}
+		if len(par.tets) != len(ser.tets) {
+			t.Fatalf("tet pool size: parallel %d, serial %d", len(par.tets), len(ser.tets))
+		}
+		for i := range ser.tets {
+			if ser.tets[i] != par.tets[i] {
+				t.Fatalf("tet %d: parallel %+v, serial %+v", i, par.tets[i], ser.tets[i])
+			}
 		}
 	})
 }

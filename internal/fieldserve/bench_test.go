@@ -3,26 +3,57 @@ package fieldserve
 import (
 	"context"
 	"errors"
+	"strconv"
 	"testing"
 	"time"
 )
 
 // BenchmarkFieldServeColdBuild measures the full cold path: service
-// creation, catalog registration, mesh build, and the first render.
+// creation, catalog registration, mesh build, and the first render. The
+// mesh-build share of the wall time is reported separately (build-ns/op,
+// from Stats.BuildNs) so build-parallelism changes are visible even when
+// render time dominates. The /parN variants run a larger catalog with
+// parallel cold builds — large enough that the block pipeline actually
+// engages rather than deferring to the serial threshold.
 func BenchmarkFieldServeColdBuild(b *testing.B) {
-	pts := testPoints(400, 31)
+	benchColdBuild(b, 400, 0)
+}
+
+// BenchmarkFieldServeColdBuildPar is the cold path with parallel mesh
+// builds on a catalog large enough that the block pipeline engages
+// instead of deferring to the serial size threshold.
+func BenchmarkFieldServeColdBuildPar(b *testing.B) {
+	for _, w := range []int{2, 8} {
+		w := w
+		b.Run("par"+strconv.Itoa(w), func(b *testing.B) {
+			if testing.Short() {
+				b.Skip("large cold build skipped in -short mode")
+			}
+			benchColdBuild(b, 12_000, w)
+		})
+	}
+}
+
+func benchColdBuild(b *testing.B, n, buildPar int) {
+	b.Helper()
+	pts := testPoints(n, 31)
 	spec := testSpec(16, 1)
 	b.ReportAllocs()
+	var buildNs uint64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := New(Options{Workers: 1})
+		s := New(Options{Workers: 1, BuildParallelism: buildPar})
 		if err := s.Register("halos", pts); err != nil {
 			b.Fatal(err)
 		}
 		if _, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: spec}); err != nil {
 			b.Fatal(err)
 		}
+		buildNs += s.Stats().BuildNs
 		s.Close()
 	}
+	b.StopTimer()
+	b.ReportMetric(float64(buildNs)/float64(b.N), "build-ns/op")
 }
 
 // BenchmarkFieldServeCacheHit measures the warm path: an exact cache hit

@@ -35,6 +35,11 @@ type Options struct {
 	// RenderWorkers is the marching parallelism per render (default 1:
 	// concurrency comes from serving many requests, not one).
 	RenderWorkers int
+	// BuildParallelism is the worker count for cold catalog mesh builds
+	// (delaunay.NewParallel). <= 1 builds serially. Cold builds are the
+	// service's longest unavailability window for a fresh catalog, so
+	// unlike rendering they are worth parallelizing inside one request.
+	BuildParallelism int
 	// Sched is the per-render column schedule.
 	Sched render.Schedule
 	// Fault optionally injects request-level faults; the service itself
@@ -72,6 +77,7 @@ type Stats struct {
 	Degraded  uint64 // responses served off the degrade ladder
 	Expired   uint64 // requests whose context died before/while rendering
 	Builds    uint64 // Delaunay+field builds performed (once per catalog)
+	BuildNs   uint64 // cumulative wall time of those cold builds, in ns
 	CacheHits uint64
 	CacheMiss uint64
 	Evicted   uint64
@@ -122,6 +128,7 @@ type Service struct {
 	ewmaNs atomic.Int64 // exponentially averaged render wall time
 
 	served, shed, degraded, expired, builds atomic.Uint64
+	buildNs                                 atomic.Uint64
 	active                                  atomic.Int64
 }
 
@@ -352,7 +359,9 @@ func (s *Service) marcherFor(ctx context.Context, name string) (*render.Marcher,
 		go func() {
 			defer close(cat.built)
 			s.builds.Add(1)
-			tri, err := delaunay.New(cat.pts)
+			start := time.Now()
+			tri, err := delaunay.NewWithOptions(cat.pts,
+				delaunay.BuildOptions{Parallelism: s.opt.BuildParallelism})
 			if err != nil {
 				cat.err = fmt.Errorf("fieldserve: building catalog %q: %w", name, err)
 				return
@@ -364,6 +373,7 @@ func (s *Service) marcherFor(ctx context.Context, name string) (*render.Marcher,
 			}
 			cat.m = render.NewMarcher(f)
 			cat.pts = nil // the SoA mesh is the serving asset now
+			s.buildNs.Add(uint64(time.Since(start).Nanoseconds()))
 		}()
 	}
 	cat.mu.Unlock()
@@ -396,6 +406,7 @@ func (s *Service) Stats() Stats {
 		Degraded:  s.degraded.Load(),
 		Expired:   s.expired.Load(),
 		Builds:    s.builds.Load(),
+		BuildNs:   s.buildNs.Load(),
 		CacheHits: cs.Hits,
 		CacheMiss: cs.Misses,
 		Evicted:   cs.Evicted,

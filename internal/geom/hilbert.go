@@ -1,0 +1,117 @@
+package geom
+
+import "sort"
+
+// Hilbert-curve sorting of 3D points. Like Morton order (morton.go) the
+// Hilbert order is a space-filling-curve BRIO, but consecutive cells along
+// the curve are always face-adjacent (Manhattan distance 1 on the cell
+// grid), where the Z-order curve takes long jumps at octant boundaries.
+// That makes Hilbert insertion order strictly more local: the remembering
+// walk in the incremental Delaunay build revisits the same cache-resident
+// tets more often, which is what caps random-catalog build throughput.
+//
+// The implementation is Skilling's transpose algorithm ("Programming the
+// Hilbert curve", AIP Conf. Proc. 707, 2004): coordinates are converted
+// in place from axis form to the "transpose" form of the Hilbert index by
+// a bitwise Gray-code/exchange sweep, then the transpose bits are
+// interleaved into a single 36-bit key. 12 bits per axis (4096 cells per
+// side) is far below MortonKey's 21 but is pure overkill removal, not a
+// quality loss: keys only order points and tet barycenters, sets of at
+// most ~2^21 elements in a 2^36-cell grid, and the transpose sweep — the
+// hottest loop of the post-build compaction pass — costs one iteration
+// per bit. Ties (distinct points in one cell, or exact duplicates) are
+// broken deterministically by the callers.
+
+const hilbertBits = 12
+
+// HilbertKey returns the 36-bit Hilbert-curve index of p within the box b,
+// using 12 bits per axis.
+func HilbertKey(p Vec3, b AABB) uint64 {
+	const maxv = (1 << hilbertBits) - 1
+	size := b.Size()
+	x := [3]uint32{
+		uint32(normCoord(p.X, b.Min.X, size.X, maxv)),
+		uint32(normCoord(p.Y, b.Min.Y, size.Y, maxv)),
+		uint32(normCoord(p.Z, b.Min.Z, size.Z, maxv)),
+	}
+	return hilbertFromCell(x, hilbertBits)
+}
+
+// hilbertFromCell returns the Hilbert index of the integer cell coordinate
+// x (each component < 2^bits) on the 2^bits-per-side grid.
+func hilbertFromCell(x [3]uint32, bits uint) uint64 {
+	axesToTranspose(&x, bits)
+	// Interleave the transpose form: bit (bits-1-b) of the key triplet for
+	// level b comes from X[0], X[1], X[2] in that order, most significant
+	// level first.
+	var key uint64
+	for b := int(bits) - 1; b >= 0; b-- {
+		key = key<<1 | uint64(x[0]>>uint(b)&1)
+		key = key<<1 | uint64(x[1]>>uint(b)&1)
+		key = key<<1 | uint64(x[2]>>uint(b)&1)
+	}
+	return key
+}
+
+// axesToTranspose converts x from axis coordinates to the transpose of the
+// Hilbert index, in place (Skilling 2004, AxestoTranspose). The
+// exchange/invert steps are written branch-free (bit of q selects between
+// the two XOR patterns): the decision bits are effectively random, so the
+// branching form pays a misprediction per axis per level on the compaction
+// hot path.
+func axesToTranspose(x *[3]uint32, bits uint) {
+	// Inverse undo of the Hilbert transform. For i == 0 the exchange
+	// branch is a no-op (t == 0), so only the invert case remains.
+	for q := uint32(1) << (bits - 1); q > 1; q >>= 1 {
+		p := q - 1
+		var mask uint32
+		if x[0]&q != 0 {
+			mask = p
+		}
+		x[0] ^= mask
+		for i := 1; i < 3; i++ {
+			mask = 0
+			if x[i]&q != 0 {
+				mask = ^uint32(0)
+			}
+			t := (x[0] ^ x[i]) & p
+			x[0] ^= t ^ ((t ^ p) & mask) // p if bit set, t otherwise
+			x[i] ^= t &^ mask            // 0 if bit set, t otherwise
+		}
+	}
+	// Gray encode.
+	x[1] ^= x[0]
+	x[2] ^= x[1]
+	var t uint32
+	for q := uint32(1) << (bits - 1); q > 1; q >>= 1 {
+		if x[2]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	x[0] ^= t
+	x[1] ^= t
+	x[2] ^= t
+}
+
+// HilbertOrder returns a permutation of indices [0,len(pts)) that visits
+// the points in Hilbert-curve order over their bounding box, ties broken by
+// ascending index (so duplicate points keep input order, like MortonOrder).
+func HilbertOrder(pts []Vec3) []int {
+	b := BoundsOf(pts)
+	keys := make([]uint64, len(pts))
+	for i, p := range pts {
+		keys[i] = HilbertKey(p, b)
+	}
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ki, kj := keys[order[i]], keys[order[j]]
+		if ki != kj {
+			return ki < kj
+		}
+		return order[i] < order[j] // stable for equal keys (e.g. duplicates)
+	})
+	return order
+}
