@@ -32,18 +32,21 @@ chaos:
 
 # Overload smoke: the resident field service at 2x capacity under the
 # race detector — the real service (bounded queue, shedding, degrade
-# ladder, goroutine-leak check) plus the million-request virtual-time
-# load generator with its bounded-p99 and nonzero-shed assertions.
+# ladder, goroutine-leak check), the 80%-overlap coalescing storm, and
+# the million-request virtual-time load generator with its bounded-p99
+# and nonzero-shed assertions.
 serve-smoke:
-	$(GO) test -race -timeout 300s -run 'OverloadSmoke' ./internal/fieldserve/ ./internal/vtime/
+	$(GO) test -race -timeout 300s -run 'OverloadSmoke|OverlapStorm' ./internal/fieldserve/ ./internal/vtime/
 
 # Regression benchmarks: run the kernel/entry/codec/build/predicate/
 # distributed-render/field-service suite (including the /parN
-# block-parallel Delaunay builds) and write BENCH_PR8.json with ns/op,
-# allocs/op, and speedup ratios against the checked-in baseline in
-# bench/baseline_pr8.json.
+# block-parallel Delaunay builds and the render-coalescing benchmarks)
+# and write BENCH_PR9.json with ns/op, allocs/op, and speedup ratios
+# against the checked-in baseline in bench/baseline_pr9.json (recorded
+# with DTFE_SERVE_NOCOALESCE=1, so the coalescing benches compare
+# against the exact-key single-flight path).
 bench:
-	$(GO) run ./cmd/dtfe-bench -out BENCH_PR8.json -baseline bench/baseline_pr8.json
+	$(GO) run ./cmd/dtfe-bench -out BENCH_PR9.json -baseline bench/baseline_pr9.json
 
 # Forced-exact predicate microbenchmarks only: the quickest check that a
 # predicates change kept the fallback path fast and allocation-free.

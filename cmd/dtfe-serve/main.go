@@ -51,11 +51,18 @@ func main() {
 	cancelProb := flag.Float64("cancel-prob", 0, "per-request probability of a mid-flight cancellation")
 	slowProb := flag.Float64("slow-prob", 0, "per-request probability of a slow client")
 	poisonProb := flag.Float64("poison-prob", 0, "per-fill probability of cache poisoning")
+	batchWindow := flag.Duration("batch-window", 0, "batch leader wait for same-family followers (0: drain what's queued)")
+	maxBatch := flag.Int("max-batch", 16, "max requests served by one shared march")
+	colCache := flag.Int("col-cache", 1<<20, "column-cache budget in grid cells (negative disables)")
+	noCoalesce := flag.Bool("no-coalesce", false, "disable family batching and the column cache (baseline mode)")
+	overlap := flag.Float64("overlap", 0, "fraction of requests drawn from hot coalescing families with varied window extents")
+	overlapFams := flag.Int("overlap-families", 3, "hot family pool size for -overlap")
 	sim := flag.Bool("sim", false, "run the virtual-time model instead of real renders")
+	simCompare := flag.Bool("sim-compare", false, "with -sim: run coalescing on AND off and report the ratio")
 	flag.Parse()
 
 	var inj *fault.Injector
-	if *cancelProb > 0 || *slowProb > 0 || *poisonProb > 0 {
+	if *cancelProb > 0 || *slowProb > 0 || *poisonProb > 0 || *overlap > 0 {
 		inj = fault.New(fault.Plan{
 			Seed:            *seed,
 			SlowClientProb:  *slowProb,
@@ -63,6 +70,8 @@ func main() {
 			CancelProb:      *cancelProb,
 			CancelAfter:     2 * time.Millisecond,
 			PoisonProb:      *poisonProb,
+			OverlapProb:     *overlap,
+			OverlapFamilies: *overlapFams,
 		})
 	}
 
@@ -71,14 +80,21 @@ func main() {
 		if n == 2000 { // flag default; the sim scales much further
 			n = 1_000_000
 		}
-		runSim(n, *rate, *workers, *queue, *cache, *seed, inj)
+		runSim(n, *rate, *workers, *queue, *cache, *seed, inj,
+			!*noCoalesce, (*batchWindow).Seconds(), *maxBatch, *overlapFams, *simCompare)
 		return
 	}
 	runReal(*in, *particles, *gridN, *specs, *requests, *rate,
-		*workers, *queue, *cache, *degrade, *seed, inj)
+		*workers, *queue, *cache, *degrade, *seed, inj, fieldserve.Options{
+			BatchWindow:      *batchWindow,
+			MaxBatch:         *maxBatch,
+			ColumnCacheCells: *colCache,
+			DisableCoalesce:  *noCoalesce,
+		})
 }
 
-func runSim(requests int, rate float64, workers, queue, cache int, seed int64, inj *fault.Injector) {
+func runSim(requests int, rate float64, workers, queue, cache int, seed int64, inj *fault.Injector,
+	coalesce bool, batchWindow float64, maxBatch, familyPool int, compare bool) {
 	if workers <= 0 {
 		workers = 2
 	}
@@ -94,9 +110,15 @@ func runSim(requests int, rate float64, workers, queue, cache int, seed int64, i
 		RenderCost:     0.01,
 		HitCost:        0.0001,
 		BuildCost:      0.5,
+		ColumnCost:     0.0002,
 		DegradeHitFrac: 0.25,
 		Seed:           seed,
 		Fault:          inj,
+		Coalesce:       coalesce,
+		BatchWindow:    batchWindow,
+		MaxBatch:       maxBatch,
+		FamilyPool:     familyPool,
+		ExtentLevels:   32,
 	}
 	if rate <= 0 {
 		rate = 2 * float64(cfg.Workers) / cfg.RenderCost
@@ -104,17 +126,37 @@ func runSim(requests int, rate float64, workers, queue, cache int, seed int64, i
 	cfg.ArrivalRate = rate
 	t0 := time.Now()
 	out := vtime.SimulateFieldServe(cfg)
-	fmt.Printf("sim: %d requests at %.0f/s offered (%d workers, queue %d, cache %d)\n",
-		requests, rate, cfg.Workers, cfg.QueueDepth, cfg.CacheEntries)
+	fmt.Printf("sim: %d requests at %.0f/s offered (%d workers, queue %d, cache %d, coalesce %v)\n",
+		requests, rate, cfg.Workers, cfg.QueueDepth, cfg.CacheEntries, cfg.Coalesce)
 	fmt.Printf("served %d (%.1f/s virtual), shed %d (rate %.3f), degraded %d, expired %d, deduped %d\n",
 		out.Served, out.Throughput, out.Shed, out.ShedRate, out.Degraded, out.Expired, out.Deduped)
 	fmt.Printf("latency p50 %.2fms p99 %.2fms max %.2fms, hit rate %.3f, poisoned %d, builds %d\n",
 		out.P50*1e3, out.P99*1e3, out.Max*1e3, out.HitRate, out.Poisoned, out.Builds)
+	if cfg.Coalesce {
+		fmt.Printf("batches %d, coalesced %d\n", out.Batches, out.Coalesced)
+	}
 	fmt.Printf("virtual makespan %.2fs simulated in %v\n", out.Makespan, time.Since(t0).Round(time.Millisecond))
+
+	if compare {
+		alt := cfg
+		alt.Coalesce = !cfg.Coalesce
+		altOut := vtime.SimulateFieldServe(alt)
+		on, off := out, altOut
+		if !cfg.Coalesce {
+			on, off = altOut, out
+		}
+		ratio := 0.0
+		if off.Throughput > 0 {
+			ratio = on.Throughput / off.Throughput
+		}
+		fmt.Printf("compare: coalesce on %.1f/s vs off %.1f/s (%.2fx served throughput); "+
+			"shed %.3f vs %.3f; p99 %.2fms vs %.2fms\n",
+			on.Throughput, off.Throughput, ratio, on.ShedRate, off.ShedRate, on.P99*1e3, off.P99*1e3)
+	}
 }
 
 func runReal(in string, particles, gridN, specPool, requests int, rate float64,
-	workers, queue, cache, degrade int, seed int64, inj *fault.Injector) {
+	workers, queue, cache, degrade int, seed int64, inj *fault.Injector, copt fieldserve.Options) {
 	var pts []geom.Vec3
 	if in != "" {
 		var err error
@@ -135,18 +177,28 @@ func runReal(in string, particles, gridN, specPool, requests int, rate float64,
 		Samples: 1,
 	}
 
-	s := fieldserve.New(fieldserve.Options{
-		Workers: workers, QueueDepth: queue, CacheEntries: cache,
-		MaxDegrade: degrade, Fault: inj,
-	})
+	opt := copt
+	opt.Workers, opt.QueueDepth, opt.CacheEntries = workers, queue, cache
+	opt.MaxDegrade, opt.Fault = degrade, inj
+	s := fieldserve.New(opt)
 	defer s.Close()
 	if err := s.Register("catalog", pts); err != nil {
 		log.Fatalf("register: %v", err)
 	}
 
+	// The spec mix: jitter seeds rotate through specPool families. With
+	// -overlap, the injector redirects that fraction of requests at a few
+	// hot families with varied window extents — the coalescing workload.
 	specAt := func(i int) render.Spec {
 		sp := baseSpec
 		sp.Seed = int64(i % specPool)
+		if inj != nil {
+			if fam, hot := inj.OverlapVerdict(uint64(i)); hot {
+				sp.Seed = int64(specPool + fam)
+				sp.Nx = gridN/2 + (i*7)%(gridN/2+1)
+				sp.Ny = gridN/2 + (i*11)%(gridN/2+1)
+			}
+		}
 		return sp
 	}
 
@@ -248,6 +300,14 @@ func runReal(in string, particles, gridN, specPool, requests int, rate float64,
 	}
 	fmt.Printf("cache: hit rate %.3f (%d hits, %d misses), %d evicted, %d poisoned, %d deduped, %d builds\n",
 		hitRate, st.CacheHits, st.CacheMiss, st.Evicted, st.Poisoned, st.Deduped, st.Builds)
+	avgBatch := 0.0
+	if st.Batches > 0 {
+		avgBatch = float64(st.BatchedReqs) / float64(st.Batches)
+	}
+	fmt.Printf("batching: %d batches (avg %.2f, max %d), %d coalesced, %d marches, %d cold columns\n",
+		st.Batches, avgBatch, st.MaxBatchSeen, st.Coalesced, st.Marches, st.ColdColumns)
+	fmt.Printf("columns: %d hits, %d misses, %d evicted, %d poisoned, %d resident (%d cells)\n",
+		st.ColHits, st.ColMisses, st.ColEvicted, st.ColPoisoned, st.ColEntries, st.ColCells)
 	if failed > 0 {
 		log.Fatalf("%d requests failed unexpectedly", failed)
 	}

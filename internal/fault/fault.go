@@ -95,6 +95,16 @@ type Plan struct {
 	CancelProb      float64
 	CancelAfter     time.Duration
 	PoisonProb      float64
+
+	// OverlapProb shapes the request *workload* rather than injecting a
+	// failure: with probability OverlapProb a request is drawn from one of
+	// OverlapFamilies popular coalescing families (same origin/spacing,
+	// differing window extents), and otherwise from a unique spec family
+	// of its own. Load generators use OverlapVerdict to build
+	// overlap-heavy request streams that exercise shared-march batching
+	// deterministically.
+	OverlapProb     float64
+	OverlapFamilies int
 }
 
 // RequestFault is the injected behavior for one field-service request.
@@ -222,6 +232,27 @@ func (in *Injector) ShouldPoisonCache(id uint64) bool {
 		return false
 	}
 	return frac(in.hash(0x9015, 0, 0, 0, id)) < in.plan.PoisonProb
+}
+
+// OverlapVerdict decides, deterministically per request id, whether the
+// request belongs to a shared coalescing family and which one. overlap
+// requests return family in [0, OverlapFamilies); non-overlap requests
+// return family -1 (the caller gives them a spec family of their own).
+func (in *Injector) OverlapVerdict(id uint64) (family int, overlap bool) {
+	if in.plan.OverlapProb <= 0 || in.plan.OverlapFamilies <= 0 {
+		return -1, false
+	}
+	h := in.hash(0x0e1a, 0, 0, 0, id)
+	if frac(h) >= in.plan.OverlapProb {
+		return -1, false
+	}
+	return int(splitmix64(h) % uint64(in.plan.OverlapFamilies)), true
+}
+
+// HasOverlapPlan reports whether the plan shapes an overlap workload at
+// all (OverlapVerdict can return true).
+func (in *Injector) HasOverlapPlan() bool {
+	return in.plan.OverlapProb > 0 && in.plan.OverlapFamilies > 0
 }
 
 // StraggleFactor returns the slowdown multiplier for a rank (1 = none).

@@ -179,3 +179,42 @@ func TestRequestVerdictZeroPlanSilent(t *testing.T) {
 		}
 	}
 }
+
+func TestOverlapVerdict(t *testing.T) {
+	plan := Plan{Seed: 23, OverlapProb: 0.8, OverlapFamilies: 4}
+	a, b := New(plan), New(plan)
+	var overlapped int
+	hist := make([]int, plan.OverlapFamilies)
+	const n = 20_000
+	for id := uint64(0); id < n; id++ {
+		fam, ov := a.OverlapVerdict(id)
+		if fam2, ov2 := b.OverlapVerdict(id); fam != fam2 || ov != ov2 {
+			t.Fatalf("id %d: same plan diverged", id)
+		}
+		if !ov {
+			if fam != -1 {
+				t.Fatalf("id %d: non-overlap request got family %d", id, fam)
+			}
+			continue
+		}
+		if fam < 0 || fam >= plan.OverlapFamilies {
+			t.Fatalf("id %d: family %d out of range", id, fam)
+		}
+		overlapped++
+		hist[fam]++
+	}
+	got := float64(overlapped) / n
+	if got < 0.75 || got > 0.85 {
+		t.Fatalf("overlap rate %.3f far from configured 0.8", got)
+	}
+	for fam, c := range hist {
+		if c < overlapped/plan.OverlapFamilies/2 {
+			t.Fatalf("family %d starved: %d of %d", fam, c, overlapped)
+		}
+	}
+	// Zero plan is silent.
+	z := New(Plan{Seed: 23})
+	if fam, ov := z.OverlapVerdict(7); ov || fam != -1 {
+		t.Fatal("zero plan produced overlap verdicts")
+	}
+}

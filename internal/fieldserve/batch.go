@@ -1,0 +1,286 @@
+package fieldserve
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"godtfe/internal/grid"
+	"godtfe/internal/render"
+)
+
+// This file is the render planner + batcher: the worker loop that claims
+// queued requests as batch leaders, gathers same-family followers,
+// computes the union cover plan, executes one shared march (through the
+// column cache), and slices every member's grid out of the result.
+// Bit-exactness rests on the global-column-index invariant (DESIGN.md
+// §13): cell (i, j) is a pure function of the family key and (i, j), so a
+// slice of the union grid is byte-identical to a direct render of the
+// member's spec.
+
+// famKey maps a request key to its batching-group key: the coalescing
+// family (catalog + spec with extents zeroed), or the exact key when
+// coalescing is disabled (reproducing exact-key single-flight).
+func (s *Service) famKey(k Key) Key {
+	if s.opt.DisableCoalesce {
+		return k
+	}
+	return Key{Catalog: k.Catalog, Spec: render.FamilyOf(k.Spec)}
+}
+
+// worker is one serving goroutine: claim a leader, gather its batch,
+// execute, release the family lock.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		leader, fk := s.nextLeader()
+		if leader == nil {
+			return
+		}
+		members := s.collectBatch(leader, fk)
+		s.active.Add(1)
+		s.executeBatch(members)
+		s.active.Add(-1)
+		s.qmu.Lock()
+		delete(s.inflight, fk)
+		s.qcond.Broadcast() // wake workers parked on this family's lock
+		s.qmu.Unlock()
+	}
+}
+
+// nextLeader blocks until a queued task whose family is not already
+// executing is available (or the service is closing) and claims it,
+// marking the family in flight *before* any batch-window wait so a second
+// worker can never start a duplicate march of the same family.
+func (s *Service) nextLeader() (*task, Key) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for {
+		if s.quitting {
+			return nil, Key{}
+		}
+		for i, t := range s.q {
+			fk := s.famKey(t.key)
+			if s.inflight[fk] {
+				continue
+			}
+			s.q = append(s.q[:i], s.q[i+1:]...)
+			s.inflight[fk] = true
+			return t, fk
+		}
+		s.qcond.Wait()
+	}
+}
+
+// collectBatch optionally waits BatchWindow for followers, then removes
+// every queued task in the leader's family (up to MaxBatch members) from
+// the queue. Later same-family arrivals stay queued behind the in-flight
+// family lock and form the next batch — by then the column cache is warm,
+// so they assemble instead of marching.
+func (s *Service) collectBatch(leader *task, fk Key) []*task {
+	members := []*task{leader}
+	if w := s.opt.BatchWindow; w > 0 && s.opt.MaxBatch > 1 {
+		timer := time.NewTimer(w)
+		select {
+		case <-timer.C:
+		case <-s.quit:
+			timer.Stop()
+		}
+	}
+	s.qmu.Lock()
+	for i := 0; i < len(s.q) && len(members) < s.opt.MaxBatch; {
+		if s.famKey(s.q[i].key) == fk {
+			members = append(members, s.q[i])
+			s.q = append(s.q[:i], s.q[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	s.qmu.Unlock()
+	return members
+}
+
+// batchContext returns a context that cancels only when EVERY member's
+// context has died — the merged-cancellation rule that makes leader
+// cancellation promote the surviving followers for free: the shared march
+// keeps running as long as anyone still wants its result. If any member
+// is un-cancellable the merge is too. The returned stop func must be
+// deferred.
+func batchContext(members []*task) (context.Context, func()) {
+	for _, t := range members {
+		if t.ctx.Done() == nil {
+			return context.Background(), func() {}
+		}
+	}
+	if len(members) == 1 {
+		return members[0].ctx, func() {}
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	stop := make(chan struct{})
+	go func() {
+		for _, t := range members {
+			select {
+			case <-t.ctx.Done():
+			case <-stop:
+				return
+			}
+		}
+		// All members are dead; any member's cause will do.
+		cancel(context.Cause(members[0].ctx))
+	}()
+	return ctx, func() {
+		close(stop)
+		cancel(context.Canceled) // release the merged context's resources
+	}
+}
+
+// executeBatch serves one batch: union cover plan, one shared march (via
+// the whole-grid cache's single-flight fill and the column cache), then a
+// per-member slice. Every member's done channel is resolved exactly once.
+func (s *Service) executeBatch(members []*task) {
+	n := uint64(len(members))
+	s.batches.Add(1)
+	s.batchedReqs.Add(n)
+	if n > 1 {
+		s.coalesced.Add(n - 1)
+	}
+	for {
+		old := s.maxBatch.Load()
+		if n <= old || s.maxBatch.CompareAndSwap(old, n) {
+			break
+		}
+	}
+
+	mctx, stopMerge := batchContext(members)
+	defer stopMerge()
+
+	leader := members[0]
+	m, err := s.marcherFor(mctx, leader.key.Catalog)
+	if err != nil {
+		s.failBatch(members, err)
+		return
+	}
+
+	specs := make([]render.Spec, len(members))
+	for i, t := range members {
+		specs[i] = t.key.Spec
+	}
+	union, err := render.UnionSpec(specs)
+	if err != nil {
+		// Unreachable: collectBatch only groups same-family keys.
+		s.failBatch(members, err)
+		return
+	}
+	unionKey := Key{Catalog: leader.key.Catalog, Spec: union}
+
+	var corrupt func(*grid.Grid2D) *grid.Grid2D
+	poisonCol := false
+	if s.opt.Fault != nil {
+		for _, t := range members {
+			if s.opt.Fault.ShouldPoisonCache(t.id) {
+				corrupt = poisonGrid
+				poisonCol = true
+				break
+			}
+		}
+	}
+
+	start := time.Now()
+	shared, _, wholeHit, err := s.cache.do(mctx, unionKey, func(ctx context.Context) (*grid.Grid2D, uint64, error) {
+		return s.buildUnion(ctx, m, unionKey, poisonCol)
+	}, corrupt)
+	if err != nil {
+		s.failBatch(members, err)
+		return
+	}
+	s.observeBatch(time.Since(start), len(members))
+
+	for i, t := range members {
+		if t.ctx.Err() != nil {
+			s.expired.Add(1)
+			t.done <- taskResult{err: context.Cause(t.ctx)}
+			continue
+		}
+		sliced, serr := render.SliceSub(shared, t.key.Spec)
+		if serr != nil {
+			t.done <- taskResult{err: serr}
+			continue
+		}
+		t.done <- taskResult{resp: &Response{
+			Grid:     sliced,
+			Checksum: sliced.Checksum(),
+			CacheHit: wholeHit || i > 0,
+		}}
+	}
+}
+
+// buildUnion produces the union grid for a batch: pull every column the
+// family has cached, march only the cold runs, then publish the marched
+// columns back to the column cache. With the column cache disabled the
+// whole union is marched directly.
+func (s *Service) buildUnion(ctx context.Context, m *render.Marcher, key Key, poisonCol bool) (*grid.Grid2D, uint64, error) {
+	spec := key.Spec
+	if s.colcache == nil {
+		s.marches.Add(1)
+		s.coldCols.Add(uint64(spec.Nx))
+		out, _, err := m.RenderCtx(ctx, spec, s.opt.RenderWorkers, s.opt.Sched)
+		if err != nil {
+			return nil, 0, err
+		}
+		return out, out.Checksum(), nil
+	}
+
+	fam := render.FamilyOf(spec)
+	dst := spec.Grid()
+	var runs []render.Tile
+	coldStart := -1
+	for i := 0; i < spec.Nx; i++ {
+		if vals, ok := s.colcache.get(colKey{Catalog: key.Catalog, Family: fam, Col: i}, spec.Ny); ok {
+			dst.SetColumn(i, vals)
+			if coldStart >= 0 {
+				runs = append(runs, render.Tile{I0: coldStart, I1: i})
+				coldStart = -1
+			}
+		} else if coldStart < 0 {
+			coldStart = i
+		}
+	}
+	if coldStart >= 0 {
+		runs = append(runs, render.Tile{I0: coldStart, I1: spec.Nx})
+	}
+
+	if len(runs) > 0 {
+		s.marches.Add(1)
+		if _, err := m.RenderRunsCtx(ctx, spec, runs, dst, s.opt.RenderWorkers, s.opt.Sched); err != nil {
+			return nil, 0, err
+		}
+		for _, r := range runs {
+			s.coldCols.Add(uint64(r.I1 - r.I0))
+			for i := r.I0; i < r.I1; i++ {
+				vals := dst.Column(i, nil)
+				s.colcache.put(colKey{Catalog: key.Catalog, Family: fam, Col: i}, vals)
+				if poisonCol && i == r.I0 {
+					// Fault injection: corrupt one marched column's *stored*
+					// copy in place after its checksum was recorded (cache
+					// rot); hit-time verification must catch it. dst itself
+					// stays pristine — Column handed put a private copy.
+					vals[len(vals)/2] = math.Float64frombits(math.Float64bits(vals[len(vals)/2]) ^ 1)
+				}
+			}
+		}
+	}
+	return dst, dst.Checksum(), nil
+}
+
+// failBatch resolves every member with the batch error, or with its own
+// context's cause when the member itself is already dead.
+func (s *Service) failBatch(members []*task, err error) {
+	for _, t := range members {
+		if t.ctx.Err() != nil {
+			s.expired.Add(1)
+			t.done <- taskResult{err: context.Cause(t.ctx)}
+		} else {
+			t.done <- taskResult{err: err}
+		}
+	}
+}

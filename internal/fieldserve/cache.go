@@ -60,25 +60,35 @@ type flight struct {
 	err  error
 }
 
-// tileCache is the LRU grid cache with single-flight fill and hit-time
-// poison detection. All bookkeeping is under one mutex; renders happen
-// outside it.
+// tileCache is the LRU grid cache with single-flight fill, hit-time
+// poison detection, and an elastic per-catalog quota. All bookkeeping is
+// under one mutex; renders happen outside it.
+//
+// The quota (maxPerCat, in entries; 0 disables) is enforced only under
+// eviction pressure: a catalog may grow past its share while the cache has
+// free space, but once the cache is full an insert for a catalog that is
+// over its share evicts that catalog's own LRU entry instead of the global
+// one — so one hot catalog can never drain every other catalog's entries.
 type tileCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[Key]*cacheEntry
-	order   *list.List // front = most recently used
-	flights map[Key]*flight
+	mu        sync.Mutex
+	cap       int
+	maxPerCat int
+	entries   map[Key]*cacheEntry
+	order     *list.List // front = most recently used
+	flights   map[Key]*flight
+	perCat    map[string]int
 
 	hits, misses, evicted, poisoned, dedup uint64
 }
 
-func newTileCache(capacity int) *tileCache {
+func newTileCache(capacity, maxPerCat int) *tileCache {
 	return &tileCache{
-		cap:     capacity,
-		entries: make(map[Key]*cacheEntry),
-		order:   list.New(),
-		flights: make(map[Key]*flight),
+		cap:       capacity,
+		maxPerCat: maxPerCat,
+		entries:   make(map[Key]*cacheEntry),
+		order:     list.New(),
+		flights:   make(map[Key]*flight),
+		perCat:    make(map[string]int),
 	}
 }
 
@@ -102,6 +112,25 @@ func (c *tileCache) lookupLocked(key Key) *cacheEntry {
 func (c *tileCache) removeLocked(e *cacheEntry) {
 	delete(c.entries, e.key)
 	c.order.Remove(e.elem)
+	if n := c.perCat[e.key.Catalog] - 1; n > 0 {
+		c.perCat[e.key.Catalog] = n
+	} else {
+		delete(c.perCat, e.key.Catalog)
+	}
+}
+
+// victimLocked picks the entry to evict on behalf of an insert for owner:
+// the owner's own LRU entry when the owner is over its quota, the global
+// LRU entry otherwise.
+func (c *tileCache) victimLocked(owner string) *cacheEntry {
+	if c.maxPerCat > 0 && c.perCat[owner] > c.maxPerCat {
+		for el := c.order.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*cacheEntry); e.key.Catalog == owner {
+				return e
+			}
+		}
+	}
+	return c.order.Back().Value.(*cacheEntry)
 }
 
 func (c *tileCache) insertLocked(key Key, g *grid.Grid2D, sum uint64) {
@@ -114,9 +143,9 @@ func (c *tileCache) insertLocked(key Key, g *grid.Grid2D, sum uint64) {
 	e := &cacheEntry{key: key, g: g, sum: sum}
 	e.elem = c.order.PushFront(e)
 	c.entries[key] = e
+	c.perCat[key.Catalog]++
 	for len(c.entries) > c.cap {
-		back := c.order.Back()
-		c.removeLocked(back.Value.(*cacheEntry))
+		c.removeLocked(c.victimLocked(key.Catalog))
 		c.evicted++
 	}
 }

@@ -50,7 +50,7 @@ func TestCoarsen(t *testing.T) {
 // N concurrent requests for the same cold key run exactly one fill; the
 // followers all get the leader's grid.
 func TestCacheSingleFlight(t *testing.T) {
-	c := newTileCache(8)
+	c := newTileCache(8, 0)
 	key := cacheKey(1)
 	var fills atomic.Int64
 	var wg sync.WaitGroup
@@ -89,7 +89,7 @@ func TestCacheSingleFlight(t *testing.T) {
 // A follower whose own context dies while waiting gets its context error;
 // a follower that outlives a cancelled leader retries and fills itself.
 func TestCacheFlightContexts(t *testing.T) {
-	c := newTileCache(8)
+	c := newTileCache(8, 0)
 	key := cacheKey(2)
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
@@ -147,7 +147,7 @@ func TestCacheFlightContexts(t *testing.T) {
 // LRU eviction: capacity bounds residency, oldest entry leaves first,
 // and a hit refreshes recency.
 func TestCacheEviction(t *testing.T) {
-	c := newTileCache(2)
+	c := newTileCache(2, 0)
 	insert := func(seed int64) {
 		key := cacheKey(seed)
 		_, _, _, err := c.do(context.Background(), key, func(context.Context) (*grid.Grid2D, uint64, error) {
@@ -179,7 +179,7 @@ func TestCacheEviction(t *testing.T) {
 // Corrupting a resident grid in place is caught on the next lookup: the
 // entry is evicted, counted, and refilled with pristine bits.
 func TestCachePoisonVerification(t *testing.T) {
-	c := newTileCache(4)
+	c := newTileCache(4, 0)
 	key := cacheKey(3)
 	pristine := fillGrid(key)
 	sum := pristine.Checksum()
@@ -212,7 +212,7 @@ func TestCachePoisonVerification(t *testing.T) {
 // soak. Validity: every returned grid matches its key's deterministic
 // fill, and residency never exceeds capacity.
 func TestCacheConcurrentSoak(t *testing.T) {
-	c := newTileCache(4)
+	c := newTileCache(4, 0)
 	keys := make([]Key, 10)
 	sums := make([]uint64, 10)
 	for i := range keys {

@@ -1,0 +1,487 @@
+package fieldserve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"godtfe/internal/delaunay"
+	"godtfe/internal/dtfe"
+	"godtfe/internal/fault"
+	"godtfe/internal/geom"
+	"godtfe/internal/grid"
+	"godtfe/internal/render"
+)
+
+// serveCatalogs mirrors the render package's equivalence regimes:
+// clustered halos, an exact lattice (columns strike vertices and edges),
+// and a dirty mix with duplicates and coplanar companions.
+func serveCatalogs() map[string][]geom.Vec3 {
+	cats := make(map[string][]geom.Vec3)
+	cats["clustered"] = testPoints(800, 7)
+
+	var lattice []geom.Vec3
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			for k := 0; k < 6; k++ {
+				lattice = append(lattice, geom.Vec3{X: float64(i) / 5, Y: float64(j) / 5, Z: float64(k) / 5})
+			}
+		}
+	}
+	cats["lattice"] = lattice
+
+	rng := rand.New(rand.NewSource(42))
+	var dirty []geom.Vec3
+	for len(dirty) < 300 {
+		p := geom.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		dirty = append(dirty, p)
+		if rng.Float64() < 0.2 {
+			dirty = append(dirty, p)
+		}
+		if rng.Float64() < 0.3 {
+			dirty = append(dirty, geom.Vec3{X: math.Round(p.X*4) / 4, Y: math.Round(p.Y*4) / 4, Z: p.Z})
+		}
+	}
+	cats["dirty"] = dirty
+	return cats
+}
+
+// directMarcher builds the out-of-service reference kernel for a catalog.
+func directMarcher(t testing.TB, pts []geom.Vec3) *render.Marcher {
+	t.Helper()
+	tri, err := delaunay.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := dtfe.NewField(tri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return render.NewMarcher(f)
+}
+
+// TestCoalescedBitIdentical is the PR's bit-exactness property test:
+// concurrent requests across overlapping spec families (same family key,
+// different window extents) are batched into shared marches and assembled
+// from the column cache, and every response must be byte-identical to a
+// direct render.Render of its own spec — for clustered, lattice, and
+// dirty catalogs. Run under -race this is also the batcher's concurrency
+// soak.
+func TestCoalescedBitIdentical(t *testing.T) {
+	extents := [][2]int{{48, 48}, {32, 40}, {40, 24}, {16, 48}, {24, 32}}
+	for name, pts := range serveCatalogs() {
+		t.Run(name, func(t *testing.T) {
+			s := New(Options{Workers: 2, QueueDepth: 32, BatchWindow: 2 * time.Millisecond, MaxBatch: 8})
+			defer s.Close()
+			if err := s.Register(name, pts); err != nil {
+				t.Fatal(err)
+			}
+			m := directMarcher(t, pts)
+
+			// Two families (jitter seeds 5 and 6) × five window extents.
+			var specs []render.Spec
+			want := make(map[render.Spec]uint64)
+			for _, seed := range []int64{5, 6} {
+				base := testSpec(48, seed)
+				base.Samples = 2
+				for _, e := range extents {
+					sub := base
+					sub.Nx, sub.Ny = e[0], e[1]
+					g, _, err := m.Render(sub, 1, render.ScheduleDynamic)
+					if err != nil {
+						t.Fatal(err)
+					}
+					specs = append(specs, sub)
+					want[sub] = g.Checksum()
+				}
+			}
+
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			for i := 0; i < 3*len(specs); i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					<-start
+					spec := specs[i%len(specs)]
+					resp, err := s.Serve(context.Background(), Request{Catalog: name, Spec: spec})
+					if err != nil {
+						if errors.Is(err, ErrOverloaded) {
+							return
+						}
+						t.Errorf("request %d: %v", i, err)
+						return
+					}
+					if resp.Checksum != want[spec] || resp.Grid.Checksum() != want[spec] {
+						t.Errorf("request %d (%dx%d): served bits differ from direct render", i, spec.Nx, spec.Ny)
+					}
+				}(i)
+			}
+			close(start)
+			wg.Wait()
+
+			// A fresh extent after the storm must assemble entirely from
+			// cached columns: no new columns marched, still bit-identical.
+			st0 := s.Stats()
+			fresh := testSpec(48, 5)
+			fresh.Samples = 2
+			fresh.Nx, fresh.Ny = 47, 47
+			g, _, err := m.Render(fresh, 1, render.ScheduleDynamic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := s.Serve(context.Background(), Request{Catalog: name, Spec: fresh})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Checksum != g.Checksum() {
+				t.Fatal("column-assembled grid differs from direct render")
+			}
+			st := s.Stats()
+			if st.ColdColumns != st0.ColdColumns {
+				t.Fatalf("fresh extent marched %d columns despite a warm column cache", st.ColdColumns-st0.ColdColumns)
+			}
+			if st.ColHits == 0 {
+				t.Fatal("column cache never hit")
+			}
+			t.Logf("%s: batches=%d batched=%d coalesced=%d marches=%d coldCols=%d colHits=%d",
+				name, st.Batches, st.BatchedReqs, st.Coalesced, st.Marches, st.ColdColumns, st.ColHits)
+		})
+	}
+}
+
+// TestBatchLeaderCancelPromotesFollower is the chaos test for merged
+// batch cancellation: the batch leader is cancelled mid-march, and the
+// follower must still be served off the SAME shared march (no re-march,
+// no lost work) with bit-identical output.
+func TestBatchLeaderCancelPromotesFollower(t *testing.T) {
+	pts := testPoints(2500, 7)
+	s := New(Options{Workers: 1, QueueDepth: 8, BatchWindow: 150 * time.Millisecond, MaxBatch: 8})
+	defer s.Close()
+	if err := s.Register("halos", pts); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the mesh with a different family so build time doesn't skew
+	// the choreography below.
+	if _, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: testSpec(8, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	st0 := s.Stats()
+
+	waitFor := func(what string, cond func(Stats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for !cond(s.Stats()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never happened", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	family := testSpec(256, 1)
+	family.Samples = 2
+	leaderSpec := family // full extent
+	followerSpec := family
+	followerSpec.Nx, followerSpec.Ny = 192, 224
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := s.Serve(leaderCtx, Request{Catalog: "halos", Spec: leaderSpec})
+		leaderDone <- err
+	}()
+	// The worker claims the leader (queue drains) and sits in its batch
+	// window; the follower arrives inside the window.
+	waitFor("leader claim", func(st Stats) bool { return st.QueueLen == 0 && st.Batches == st0.Batches })
+	followerDone := make(chan taskResult, 1)
+	go func() {
+		resp, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: followerSpec})
+		followerDone <- taskResult{resp: resp, err: err}
+	}()
+	// Batch executes (window expired, both members collected); cancel the
+	// leader mid-march.
+	waitFor("batch start", func(st Stats) bool { return st.Batches == st0.Batches+1 })
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+
+	select {
+	case err := <-leaderDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled leader returned %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("cancelled leader never returned")
+	}
+	var fr taskResult
+	select {
+	case fr = <-followerDone:
+	case <-time.After(120 * time.Second):
+		t.Fatal("follower lost after leader cancellation")
+	}
+	if fr.err != nil {
+		t.Fatalf("follower: %v", fr.err)
+	}
+	want := directChecksum(t, pts, followerSpec)
+	if fr.resp.Checksum != want || fr.resp.Grid.Checksum() != want {
+		t.Fatal("promoted follower served wrong bits")
+	}
+
+	st := s.Stats()
+	if st.Batches != st0.Batches+1 {
+		t.Fatalf("batches = %d, want exactly one more than %d", st.Batches, st0.Batches)
+	}
+	if st.BatchedReqs != st0.BatchedReqs+2 || st.Coalesced != st0.Coalesced+1 {
+		t.Fatalf("leader and follower not in one batch: %+v", st)
+	}
+	if st.Marches != st0.Marches+1 {
+		t.Fatalf("marches = %d, want exactly one shared march more than %d (the march was lost or repeated)",
+			st.Marches, st0.Marches)
+	}
+}
+
+// TestServeOverlapStormSmoke drives the service with the fault package's
+// overlap-shaped workload (80% of requests drawn from 3 hot spec
+// families with varied extents) — the coalescing analogue of the PR 7
+// overload smoke, wired into make serve-smoke. Every served grid must be
+// bit-identical to a direct render; the storm must coalesce or hit
+// columns; nothing may leak.
+func TestServeOverlapStormSmoke(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	pts := testPoints(600, 21)
+	inj := fault.New(fault.Plan{Seed: 99, OverlapProb: 0.8, OverlapFamilies: 3})
+	s := New(Options{Workers: 2, QueueDepth: 64, BatchWindow: 2 * time.Millisecond, MaxBatch: 16})
+	if err := s.Register("halos", pts); err != nil {
+		t.Fatal(err)
+	}
+	m := directMarcher(t, pts)
+
+	specFor := func(id uint64) render.Spec {
+		fam, overlap := inj.OverlapVerdict(id)
+		if !overlap {
+			return testSpec(48, int64(1000+id)) // a family of its own
+		}
+		spec := testSpec(48, int64(fam))
+		spec.Nx = 16 + int(id*7)%33
+		spec.Ny = 16 + int(id*11)%33
+		return spec
+	}
+	const storm = 96
+	want := make(map[render.Spec]uint64)
+	for id := uint64(0); id < storm; id++ {
+		spec := specFor(id)
+		if _, ok := want[spec]; ok {
+			continue
+		}
+		g, _, err := m.Render(spec, 1, render.ScheduleDynamic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[spec] = g.Checksum()
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		ok, shed int
+	)
+	start := make(chan struct{})
+	for id := uint64(0); id < storm; id++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			<-start
+			spec := specFor(id)
+			resp, err := s.Serve(context.Background(), Request{Catalog: "halos", Spec: spec})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				if resp.Degraded {
+					return // degraded grids are coarser family members, checked elsewhere
+				}
+				ok++
+				if resp.Checksum != want[spec] || resp.Grid.Checksum() != want[spec] {
+					t.Errorf("request %d: served bits differ from direct render", id)
+				}
+			case errors.Is(err, ErrOverloaded):
+				shed++
+			default:
+				t.Errorf("request %d: unexpected error %v", id, err)
+			}
+		}(id)
+	}
+	close(start)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("overlap storm did not resolve")
+	}
+
+	st := s.Stats()
+	t.Logf("storm=%d ok=%d shed=%d batches=%d coalesced=%d colHits=%d coldCols=%d maxBatch=%d",
+		storm, ok, shed, st.Batches, st.Coalesced, st.ColHits, st.ColdColumns, st.MaxBatchSeen)
+	if ok == 0 {
+		t.Fatal("nothing was served")
+	}
+	if st.Coalesced == 0 && st.ColHits == 0 {
+		t.Fatal("overlap storm neither coalesced a request nor hit the column cache")
+	}
+
+	s.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d now vs %d baseline\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCacheCatalogQuota: under eviction pressure, a catalog over its
+// share evicts its own LRU entries, never another catalog's.
+func TestCacheCatalogQuota(t *testing.T) {
+	c := newTileCache(4, 2)
+	put := func(cat string, seed int64) Key {
+		key := Key{Catalog: cat, Spec: testSpec(8, seed)}
+		g := fillGrid(key)
+		c.mu.Lock()
+		c.insertLocked(key, g, g.Checksum())
+		c.mu.Unlock()
+		return key
+	}
+	a1 := put("a", 1)
+	a2 := put("a", 2)
+	b1 := put("b", 1)
+	a3 := put("a", 3) // cache has free space: "a" may exceed its share
+	for _, k := range []Key{a1, a2, b1, a3} {
+		if _, _, ok := c.peek(k); !ok {
+			t.Fatalf("entry %+v missing before pressure", k.Spec.Seed)
+		}
+	}
+	a4 := put("a", 4) // full: "a" over quota must evict its own LRU (a1)
+	if _, _, ok := c.peek(a1); ok {
+		t.Fatal("hot catalog's own LRU entry survived")
+	}
+	for _, k := range []Key{a2, b1, a3, a4} {
+		if _, _, ok := c.peek(k); !ok {
+			t.Fatalf("entry cat=%s seed=%d wrongly evicted", k.Catalog, k.Spec.Seed)
+		}
+	}
+	// "b" under quota at a full cache evicts globally (the true LRU,
+	// which by now is a2 — peeks above refreshed recency in order).
+	put("b", 2)
+	if _, _, ok := c.peek(a2); ok {
+		t.Fatal("global LRU survived an under-quota insert")
+	}
+	if _, _, ok := c.peek(b1); !ok {
+		t.Fatal("other catalog's entry evicted by an under-quota insert")
+	}
+}
+
+// TestColCache covers the column cache: prefix hits, short-entry misses,
+// taller replacement, cell-budget eviction, per-catalog quota, poison
+// detection, and nil-cache safety.
+func TestColCache(t *testing.T) {
+	fam := render.FamilyOf(testSpec(8, 1))
+	key := func(cat string, col int) colKey { return colKey{Catalog: cat, Family: fam, Col: col} }
+	colVals := func(n int, base float64) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = base + float64(i)
+		}
+		return v
+	}
+
+	c := newColCache(100, 0)
+	c.put(key("a", 0), colVals(10, 1))
+	if got, ok := c.get(key("a", 0), 10); !ok || len(got) != 10 || got[9] != 10 {
+		t.Fatal("full-height lookup failed")
+	}
+	if got, ok := c.get(key("a", 0), 6); !ok || len(got) != 6 || got[5] != 6 {
+		t.Fatal("prefix lookup failed")
+	}
+	if _, ok := c.get(key("a", 0), 11); ok {
+		t.Fatal("short entry served a taller request")
+	}
+	c.put(key("a", 0), colVals(20, 1)) // taller replacement
+	if got, ok := c.get(key("a", 0), 20); !ok || len(got) != 20 {
+		t.Fatal("taller replacement not served")
+	}
+	if st := c.stats(); st.Cells != 20 || st.Entries != 1 {
+		t.Fatalf("replacement double-counted: %+v", st)
+	}
+
+	// Budget eviction: 100-cell budget, 20 resident + 5×20 more → the
+	// oldest columns leave and the budget holds.
+	for i := 1; i <= 5; i++ {
+		c.put(key("a", i), colVals(20, float64(i)))
+	}
+	st := c.stats()
+	if st.Cells > 100 {
+		t.Fatalf("budget exceeded: %+v", st)
+	}
+	if st.Evicted == 0 {
+		t.Fatal("over-budget inserts evicted nothing")
+	}
+	if _, ok := c.get(key("a", 0), 1); ok {
+		t.Fatal("LRU column survived budget pressure")
+	}
+
+	// Poison detection: corrupt a resident column in place.
+	e := c.entries[key("a", 5)]
+	e.vals[3] = math.Float64frombits(math.Float64bits(e.vals[3]) ^ 1)
+	if _, ok := c.get(key("a", 5), 20); ok {
+		t.Fatal("poisoned column served")
+	}
+	if st := c.stats(); st.Poisoned != 1 {
+		t.Fatalf("poisoned = %d, want 1", st.Poisoned)
+	}
+
+	// Per-catalog quota: catalog "h" capped at 40 cells out of 100; its
+	// inserts under pressure evict its own columns, not catalog "cold"'s.
+	q := newColCache(100, 40)
+	for i := 0; i < 3; i++ {
+		q.put(key("cold", i), colVals(20, float64(i)))
+	}
+	for i := 0; i < 8; i++ {
+		q.put(key("h", i), colVals(20, float64(100+i)))
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := q.get(key("cold", i), 20); !ok {
+			t.Fatalf("cold catalog's column %d evicted by the hot catalog", i)
+		}
+	}
+	if qs := q.stats(); qs.Cells > 100 {
+		t.Fatalf("quota cache over budget: %+v", qs)
+	}
+	if _, ok := q.get(key("h", 7), 20); !ok {
+		t.Fatal("hot catalog's newest column missing")
+	}
+
+	// nil cache (disabled) is safe.
+	var nilCache *colCache
+	nilCache.put(key("a", 0), colVals(4, 0))
+	if _, ok := nilCache.get(key("a", 0), 4); ok {
+		t.Fatal("nil cache served a hit")
+	}
+	if st := nilCache.stats(); st != (colStats{}) {
+		t.Fatal("nil cache has stats")
+	}
+}
+
+var _ = grid.ChecksumBits // keep the import honest if assertions change

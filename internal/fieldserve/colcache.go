@@ -1,0 +1,158 @@
+package fieldserve
+
+import (
+	"container/list"
+	"sync"
+
+	"godtfe/internal/grid"
+	"godtfe/internal/render"
+)
+
+// colKey identifies one cached marched column: a catalog, the column's
+// geometry family (the request spec with its window extents zeroed — see
+// render.FamilyOf), and the global column index. Every field that shapes a
+// column's values is in the family key, so a column cached by one request
+// is bit-exactly the column any other family member would march.
+type colKey struct {
+	Catalog string
+	Family  render.Spec
+	Col     int
+}
+
+// colEntry is one resident column. vals holds rows 0..len-1 of the global
+// column, and is immutable once inserted: a hit hands out a prefix view of
+// the same backing array, so nothing downstream may write to it (callers
+// copy into their own grids via SetColumn).
+type colEntry struct {
+	key  colKey
+	vals []float64
+	sum  uint64 // grid.ChecksumBits(vals) at insert; re-verified on every hit
+	elem *list.Element
+}
+
+// colCache is the column-granular render cache beneath the batcher,
+// budgeted in cells (float64s) rather than entries so tall and short
+// columns are accounted honestly. It applies the same two disciplines as
+// the grid cache: hit-time checksum verification (a corrupted column is
+// evicted and re-marched, never served), and an elastic per-catalog quota
+// (catBudget cells, 0 disables) enforced only under eviction pressure.
+//
+// A lookup needs the column's rows 0..ny-1; a cached column taller than ny
+// serves the request as a prefix, and a shorter one is a miss (the caller
+// re-marches the full height and the taller result replaces it). A nil
+// *colCache is a valid "caching disabled" cache: get always misses and put
+// is a no-op.
+type colCache struct {
+	mu        sync.Mutex
+	budget    int
+	catBudget int
+	cells     int
+	entries   map[colKey]*colEntry
+	order     *list.List // front = most recently used
+	perCat    map[string]int
+
+	hits, misses, evicted, poisoned uint64
+}
+
+func newColCache(budget, catBudget int) *colCache {
+	if budget <= 0 {
+		return nil
+	}
+	return &colCache{
+		budget:    budget,
+		catBudget: catBudget,
+		entries:   make(map[colKey]*colEntry),
+		order:     list.New(),
+		perCat:    make(map[string]int),
+	}
+}
+
+// get returns the verified rows 0..ny-1 of the cached column, or a miss.
+// The returned slice aliases the immutable cache entry; callers must only
+// read it.
+func (c *colCache) get(key colKey, ny int) ([]float64, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || len(e.vals) < ny {
+		c.misses++
+		return nil, false
+	}
+	if grid.ChecksumBits(e.vals) != e.sum {
+		c.poisoned++
+		c.removeLocked(e)
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(e.elem)
+	c.hits++
+	return e.vals[:ny], true
+}
+
+// put inserts a freshly marched column. vals is adopted, not copied — the
+// caller must hand over a private slice and never write to it again.
+func (c *colCache) put(key colKey, vals []float64) {
+	if c == nil || len(vals) == 0 || len(vals) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		c.removeLocked(old)
+	}
+	e := &colEntry{key: key, vals: vals, sum: grid.ChecksumBits(vals)}
+	e.elem = c.order.PushFront(e)
+	c.entries[key] = e
+	c.cells += len(vals)
+	c.perCat[key.Catalog] += len(vals)
+	for c.cells > c.budget {
+		c.removeLocked(c.victimLocked(key.Catalog))
+		c.evicted++
+	}
+}
+
+func (c *colCache) removeLocked(e *colEntry) {
+	delete(c.entries, e.key)
+	c.order.Remove(e.elem)
+	c.cells -= len(e.vals)
+	if n := c.perCat[e.key.Catalog] - len(e.vals); n > 0 {
+		c.perCat[e.key.Catalog] = n
+	} else {
+		delete(c.perCat, e.key.Catalog)
+	}
+}
+
+// victimLocked picks the eviction victim for an insert by owner: the
+// owner's own LRU column when the owner is over its cell quota, the global
+// LRU column otherwise (the same elastic rule as tileCache.victimLocked).
+func (c *colCache) victimLocked(owner string) *colEntry {
+	if c.catBudget > 0 && c.perCat[owner] > c.catBudget {
+		for el := c.order.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*colEntry); e.key.Catalog == owner {
+				return e
+			}
+		}
+	}
+	return c.order.Back().Value.(*colEntry)
+}
+
+// colStats is a consistent snapshot of the column-cache counters.
+type colStats struct {
+	Hits, Misses, Evicted, Poisoned uint64
+	Cells, Entries                  int
+}
+
+func (c *colCache) stats() colStats {
+	if c == nil {
+		return colStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return colStats{
+		Hits: c.hits, Misses: c.misses, Evicted: c.evicted, Poisoned: c.poisoned,
+		Cells: c.cells, Entries: len(c.entries),
+	}
+}

@@ -20,7 +20,7 @@ import (
 // New.
 type Options struct {
 	// Workers is the number of serving goroutines draining the admission
-	// queue (default 2). Each worker runs one render at a time.
+	// queue (default 2). Each worker leads one batch at a time.
 	Workers int
 	// QueueDepth bounds the admission queue (default 2×Workers). A
 	// request arriving at a full queue is degraded or shed, never
@@ -42,6 +42,31 @@ type Options struct {
 	BuildParallelism int
 	// Sched is the per-render column schedule.
 	Sched render.Schedule
+
+	// BatchWindow is how long a batch leader waits after claiming its
+	// first request for same-family followers to arrive before marching
+	// (default 0: drain whatever is already queued without waiting —
+	// under load, queueing delay forms batches on its own).
+	BatchWindow time.Duration
+	// MaxBatch bounds how many requests one shared march may serve
+	// (default 16; negative means 1, i.e. no batching beyond the leader).
+	MaxBatch int
+	// ColumnCacheCells budgets the column-granular render cache in grid
+	// cells (default 1<<20 ≈ 8 MB of float64s; 0 uses the default,
+	// negative disables the column cache).
+	ColumnCacheCells int
+	// CatalogCacheShare is the fraction of either cache one catalog may
+	// occupy before eviction pressure turns on it (its own LRU entries
+	// are evicted instead of other catalogs'). Default 0.5; negative
+	// disables the quota. The quota is elastic: with free space a
+	// catalog may exceed its share.
+	CatalogCacheShare float64
+	// DisableCoalesce turns off family batching and the column cache:
+	// requests group only on exact (catalog, spec) keys, reproducing the
+	// pre-coalescing exact-key single-flight service. Used for baseline
+	// benchmarking.
+	DisableCoalesce bool
+
 	// Fault optionally injects request-level faults; the service itself
 	// only consults the cache-poisoning decision (slow clients and
 	// cancellations are the load generator's side of the contract).
@@ -60,8 +85,8 @@ type Request struct {
 type Response struct {
 	Grid     *grid.Grid2D
 	Checksum uint64
-	// CacheHit reports the grid came from the cache (including
-	// single-flight followers served by another request's render).
+	// CacheHit reports the grid came from a warm source: the whole-grid
+	// cache, or another request's shared march (batch followers).
 	CacheHit bool
 	// Degraded reports the service was overloaded and served a coarser
 	// cached rendering of the same field instead of shedding;
@@ -82,9 +107,26 @@ type Stats struct {
 	CacheMiss uint64
 	Evicted   uint64
 	Poisoned  uint64 // poisoned entries caught by hit-time verification
-	Deduped   uint64 // requests coalesced onto another request's render
-	QueueLen  int
-	Active    int // workers currently serving a request
+	Deduped   uint64 // requests coalesced onto an identical in-flight fill
+
+	// Batching counters (the plan-based coalescing layer).
+	Batches      uint64 // shared-march batches executed
+	BatchedReqs  uint64 // requests served through batches (all members)
+	Coalesced    uint64 // batch members beyond the leader (requests that shared a march)
+	MaxBatchSeen uint64 // largest batch executed so far
+	Marches      uint64 // render invocations that marched at least one column
+	ColdColumns  uint64 // columns marched (column-cache misses paid for)
+
+	// Column-cache counters.
+	ColHits     uint64
+	ColMisses   uint64
+	ColEvicted  uint64
+	ColPoisoned uint64
+	ColCells    int
+	ColEntries  int
+
+	QueueLen int
+	Active   int // workers currently executing a batch
 }
 
 // catalog is one registered particle set and its lazily built, pinned
@@ -113,23 +155,40 @@ type taskResult struct {
 
 // Service is the resident field server. Create with New, populate with
 // Register, serve with Serve, shut down with Close.
+//
+// Serving is plan-based: workers claim a queued request as a batch
+// leader, optionally wait BatchWindow for followers, gather every queued
+// request in the same coalescing family (same catalog, same
+// origin/spacing/jitter — see render.FamilyOf), and execute ONE march
+// over the union extent, slicing each requester's grid out of the shared
+// result. An in-flight family lock serializes batches of the same family,
+// so concurrent overlapping traffic never marches the same columns twice.
 type Service struct {
-	opt   Options
-	cache *tileCache
-	queue chan *task
-	quit  chan struct{}
-	wg    sync.WaitGroup
+	opt      Options
+	cache    *tileCache
+	colcache *colCache
+	quit     chan struct{}
+	wg       sync.WaitGroup
+
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	q        []*task
+	inflight map[Key]bool // family keys with a batch executing
+	quitting bool
 
 	mu       sync.RWMutex
 	closed   bool
 	catalogs map[string]*catalog
 
-	reqID  atomic.Uint64
-	ewmaNs atomic.Int64 // exponentially averaged render wall time
+	reqID     atomic.Uint64
+	ewmaNs    atomic.Int64  // exponentially averaged batch wall time
+	ewmaBatch atomic.Uint64 // exponentially averaged batch size (float64 bits)
 
-	served, shed, degraded, expired, builds atomic.Uint64
-	buildNs                                 atomic.Uint64
-	active                                  atomic.Int64
+	served, shed, degraded, expired, builds   atomic.Uint64
+	buildNs                                   atomic.Uint64
+	batches, batchedReqs, coalesced, maxBatch atomic.Uint64
+	marches, coldCols                         atomic.Uint64
+	active                                    atomic.Int64
 }
 
 // New starts a service with opt (zero-value fields defaulted) and its
@@ -156,13 +215,42 @@ func New(opt Options) *Service {
 	if opt.RenderWorkers <= 0 {
 		opt.RenderWorkers = 1
 	}
+	if opt.MaxBatch == 0 {
+		opt.MaxBatch = 16
+	}
+	if opt.MaxBatch < 0 {
+		opt.MaxBatch = 1
+	}
+	if opt.ColumnCacheCells == 0 {
+		opt.ColumnCacheCells = 1 << 20
+	}
+	if opt.ColumnCacheCells < 0 || opt.DisableCoalesce {
+		opt.ColumnCacheCells = 0
+	}
+	if opt.CatalogCacheShare == 0 {
+		opt.CatalogCacheShare = 0.5
+	}
+	if opt.CatalogCacheShare < 0 || opt.CatalogCacheShare > 1 {
+		opt.CatalogCacheShare = 0 // quota off
+	}
+	gridQuota := 0
+	colQuota := 0
+	if opt.CatalogCacheShare > 0 {
+		gridQuota = int(opt.CatalogCacheShare * float64(opt.CacheEntries))
+		if gridQuota < 1 {
+			gridQuota = 1
+		}
+		colQuota = int(opt.CatalogCacheShare * float64(opt.ColumnCacheCells))
+	}
 	s := &Service{
 		opt:      opt,
-		cache:    newTileCache(opt.CacheEntries),
-		queue:    make(chan *task, opt.QueueDepth),
+		cache:    newTileCache(opt.CacheEntries, gridQuota),
+		colcache: newColCache(opt.ColumnCacheCells, colQuota),
 		quit:     make(chan struct{}),
+		inflight: make(map[Key]bool),
 		catalogs: make(map[string]*catalog),
 	}
+	s.qcond = sync.NewCond(&s.qmu)
 	s.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
 		go s.worker()
@@ -195,10 +283,11 @@ func (s *Service) Register(name string, pts []geom.Vec3) error {
 }
 
 // Serve renders req under ctx. Exact cache hits are served inline from
-// the calling goroutine; misses go through the bounded admission queue.
-// On overload it returns a degraded cached response when one exists,
-// otherwise a typed *OverloadError. A cancelled ctx aborts the render
-// mid-column and returns the context's cause.
+// the calling goroutine; misses go through the bounded admission queue
+// and the batching planner. On overload it returns a degraded cached
+// response when one exists, otherwise a typed *OverloadError. A cancelled
+// ctx aborts the request; the shared march it may be part of continues as
+// long as any other batch member is still alive.
 func (s *Service) Serve(ctx context.Context, req Request) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -224,13 +313,19 @@ func (s *Service) Serve(ctx context.Context, req Request) (*Response, error) {
 	}
 
 	t := &task{ctx: ctx, id: s.reqID.Add(1), key: key, done: make(chan taskResult, 1)}
-	select {
-	case s.queue <- t:
-	case <-s.quit:
+	s.qmu.Lock()
+	if s.quitting {
+		s.qmu.Unlock()
 		return nil, ErrClosed
-	default:
-		return s.degradeOrShed(key)
 	}
+	if len(s.q) >= s.opt.QueueDepth {
+		depth := len(s.q)
+		s.qmu.Unlock()
+		return s.degradeOrShed(key, depth)
+	}
+	s.q = append(s.q, t)
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
 
 	select {
 	case r := <-t.done:
@@ -240,8 +335,8 @@ func (s *Service) Serve(ctx context.Context, req Request) (*Response, error) {
 		s.served.Add(1)
 		return r.resp, nil
 	case <-ctx.Done():
-		// The worker (or queue drain) observes the same context and
-		// releases within one column march; we do not wait for it.
+		// The batch executor observes the same context and drops this
+		// member at slicing time; we do not wait for it.
 		s.expired.Add(1)
 		return nil, context.Cause(ctx)
 	}
@@ -249,7 +344,7 @@ func (s *Service) Serve(ctx context.Context, req Request) (*Response, error) {
 
 // degradeOrShed is the full-queue path: serve the nearest coarser cached
 // rendering of the same field, or shed with a retry-after hint.
-func (s *Service) degradeOrShed(key Key) (*Response, error) {
+func (s *Service) degradeOrShed(key Key, depth int) (*Response, error) {
 	for level := 1; level <= s.opt.MaxDegrade; level++ {
 		coarse, ok := Coarsen(key.Spec, level)
 		if !ok {
@@ -262,24 +357,36 @@ func (s *Service) degradeOrShed(key Key) (*Response, error) {
 		}
 	}
 	s.shed.Add(1)
-	return nil, &OverloadError{RetryAfter: s.retryAfter(), QueueDepth: len(s.queue)}
+	return nil, &OverloadError{RetryAfter: s.retryAfter(depth), QueueDepth: depth}
 }
 
-// retryAfter estimates the queue-drain time: (depth+1) renders at the
-// averaged render cost spread over the workers, floored at 1ms.
-func (s *Service) retryAfter() time.Duration {
+// retryAfter estimates the queue-drain time, coalescing-aware: a batched
+// queue drains in ceil(depth/avg-batch-size) batches, not depth renders,
+// so the hint divides the queued population by the observed average batch
+// size before multiplying by the averaged batch cost. With batching off
+// (or an average near 1) this degrades to the classic depth × render-time
+// estimate.
+func (s *Service) retryAfter(depth int) time.Duration {
 	avg := time.Duration(s.ewmaNs.Load())
 	if avg <= 0 {
 		avg = 10 * time.Millisecond
 	}
-	d := time.Duration(float64(avg) * float64(len(s.queue)+1) / float64(s.opt.Workers))
+	bsz := math.Float64frombits(s.ewmaBatch.Load())
+	if bsz < 1 {
+		bsz = 1
+	}
+	batches := math.Ceil(float64(depth+1) / bsz)
+	d := time.Duration(float64(avg) * batches / float64(s.opt.Workers))
 	if d < time.Millisecond {
 		d = time.Millisecond
 	}
 	return d
 }
 
-func (s *Service) observeRender(d time.Duration) {
+// observeBatch feeds the drain estimator: exponentially averaged batch
+// wall time and batch size (alpha 0.2, CAS loops so concurrent workers
+// never lose an update).
+func (s *Service) observeBatch(d time.Duration, size int) {
 	const alpha = 0.2
 	for {
 		old := s.ewmaNs.Load()
@@ -290,55 +397,22 @@ func (s *Service) observeRender(d time.Duration) {
 			next = old + int64(alpha*float64(int64(d)-old))
 		}
 		if s.ewmaNs.CompareAndSwap(old, next) {
-			return
+			break
 		}
 	}
-}
-
-func (s *Service) worker() {
-	defer s.wg.Done()
 	for {
-		select {
-		case <-s.quit:
-			return
-		case t := <-s.queue:
-			s.active.Add(1)
-			t.done <- s.handle(t)
-			s.active.Add(-1)
+		old := s.ewmaBatch.Load()
+		var next float64
+		if old == 0 {
+			next = float64(size)
+		} else {
+			prev := math.Float64frombits(old)
+			next = prev + alpha*(float64(size)-prev)
+		}
+		if s.ewmaBatch.CompareAndSwap(old, math.Float64bits(next)) {
+			break
 		}
 	}
-}
-
-// handle serves one admitted task on a worker goroutine.
-func (s *Service) handle(t *task) taskResult {
-	if err := t.ctx.Err(); err != nil {
-		s.expired.Add(1)
-		return taskResult{err: context.Cause(t.ctx)}
-	}
-	m, err := s.marcherFor(t.ctx, t.key.Catalog)
-	if err != nil {
-		return taskResult{err: err}
-	}
-	var corrupt func(*grid.Grid2D) *grid.Grid2D
-	if s.opt.Fault != nil && s.opt.Fault.ShouldPoisonCache(t.id) {
-		corrupt = poisonGrid
-	}
-	g, sum, hit, err := s.cache.do(t.ctx, t.key, func(ctx context.Context) (*grid.Grid2D, uint64, error) {
-		start := time.Now()
-		out, _, rerr := m.RenderCtx(ctx, t.key.Spec, s.opt.RenderWorkers, s.opt.Sched)
-		if rerr != nil {
-			return nil, 0, rerr
-		}
-		s.observeRender(time.Since(start))
-		return out, out.Checksum(), nil
-	}, corrupt)
-	if err != nil {
-		if t.ctx.Err() != nil {
-			s.expired.Add(1)
-		}
-		return taskResult{err: err}
-	}
-	return taskResult{resp: &Response{Grid: g, Checksum: sum, CacheHit: hit}}
 }
 
 // marcherFor returns the pinned marcher for a catalog, building the mesh
@@ -400,6 +474,10 @@ func poisonGrid(g *grid.Grid2D) *grid.Grid2D {
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	cs := s.cache.stats()
+	cc := s.colcache.stats()
+	s.qmu.Lock()
+	depth := len(s.q)
+	s.qmu.Unlock()
 	return Stats{
 		Served:    s.served.Load(),
 		Shed:      s.shed.Load(),
@@ -412,13 +490,28 @@ func (s *Service) Stats() Stats {
 		Evicted:   cs.Evicted,
 		Poisoned:  cs.Poisoned,
 		Deduped:   cs.Dedup,
-		QueueLen:  len(s.queue),
-		Active:    int(s.active.Load()),
+
+		Batches:      s.batches.Load(),
+		BatchedReqs:  s.batchedReqs.Load(),
+		Coalesced:    s.coalesced.Load(),
+		MaxBatchSeen: s.maxBatch.Load(),
+		Marches:      s.marches.Load(),
+		ColdColumns:  s.coldCols.Load(),
+
+		ColHits:     cc.Hits,
+		ColMisses:   cc.Misses,
+		ColEvicted:  cc.Evicted,
+		ColPoisoned: cc.Poisoned,
+		ColCells:    cc.Cells,
+		ColEntries:  cc.Entries,
+
+		QueueLen: depth,
+		Active:   int(s.active.Load()),
 	}
 }
 
 // Close shuts the service down: no new requests are admitted, the
-// serving workers exit after their current render, and every task still
+// serving workers exit after their current batch, and every task still
 // queued is resolved with ErrClosed. Close is idempotent.
 func (s *Service) Close() {
 	s.mu.Lock()
@@ -429,13 +522,16 @@ func (s *Service) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	close(s.quit)
+	s.qmu.Lock()
+	s.quitting = true
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
 	s.wg.Wait()
-	for {
-		select {
-		case t := <-s.queue:
-			t.done <- taskResult{err: ErrClosed}
-		default:
-			return
-		}
+	s.qmu.Lock()
+	rem := s.q
+	s.q = nil
+	s.qmu.Unlock()
+	for _, t := range rem {
+		t.done <- taskResult{err: ErrClosed}
 	}
 }

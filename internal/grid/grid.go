@@ -86,6 +86,21 @@ func (g *Grid2D) MinMax() (lo, hi float64) {
 	return
 }
 
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a state, byte by byte.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
 // Checksum returns an FNV-1a hash over the grid's shape, placement, and
 // the exact bit patterns of every cell. Two grids have equal checksums iff
 // they are bit-identical (up to hash collision), which is what the serving
@@ -93,27 +108,73 @@ func (g *Grid2D) MinMax() (lo, hi float64) {
 // bit-exactness assertions need: float equality would miss NaN payloads
 // and signed zeros that WritePGM and downstream consumers can observe.
 func (g *Grid2D) Checksum() uint64 {
-	const (
-		offset64 = 0xcbf29ce484222325
-		prime64  = 0x100000001b3
-	)
-	h := uint64(offset64)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime64
-			v >>= 8
-		}
-	}
-	mix(uint64(g.Nx))
-	mix(uint64(g.Ny))
-	mix(math.Float64bits(g.Min.X))
-	mix(math.Float64bits(g.Min.Y))
-	mix(math.Float64bits(g.Cell))
+	h := uint64(fnvOffset64)
+	h = fnvMix(h, uint64(g.Nx))
+	h = fnvMix(h, uint64(g.Ny))
+	h = fnvMix(h, math.Float64bits(g.Min.X))
+	h = fnvMix(h, math.Float64bits(g.Min.Y))
+	h = fnvMix(h, math.Float64bits(g.Cell))
 	for _, v := range g.Data {
-		mix(math.Float64bits(v))
+		h = fnvMix(h, math.Float64bits(v))
 	}
 	return h
+}
+
+// ChecksumBits is the FNV-1a hash of a bare float64 slice's length and
+// exact bit patterns — the value-only counterpart of Grid2D.Checksum,
+// used by caches that store raw column data rather than whole grids.
+func ChecksumBits(vals []float64) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvMix(h, uint64(len(vals)))
+	for _, v := range vals {
+		h = fnvMix(h, math.Float64bits(v))
+	}
+	return h
+}
+
+// SubGrid extracts a copy of the nx×ny window whose lower-left cell is
+// (i0, j0). The window's Min is shifted by whole cells, so cell (i, j) of
+// the result covers the same physical square as cell (i0+i, j0+j) of g.
+// Note the shifted Min is recomputed in floating point; callers that need
+// a bit-exact Min (the serving layer's slices) extract at (0, 0), where
+// Min is carried through unchanged.
+func (g *Grid2D) SubGrid(i0, j0, nx, ny int) (*Grid2D, error) {
+	if i0 < 0 || j0 < 0 || nx <= 0 || ny <= 0 || i0+nx > g.Nx || j0+ny > g.Ny {
+		return nil, fmt.Errorf("grid: subgrid [%d,%d)x[%d,%d) outside %dx%d", i0, i0+nx, j0, j0+ny, g.Nx, g.Ny)
+	}
+	min := g.Min
+	if i0 > 0 {
+		min.X += float64(i0) * g.Cell
+	}
+	if j0 > 0 {
+		min.Y += float64(j0) * g.Cell
+	}
+	out := NewGrid2D(nx, ny, min, g.Cell)
+	for j := 0; j < ny; j++ {
+		copy(out.Data[j*nx:(j+1)*nx], g.Data[(j0+j)*g.Nx+i0:(j0+j)*g.Nx+i0+nx])
+	}
+	return out, nil
+}
+
+// Column copies column i (rows 0..Ny-1) into dst, growing it as needed,
+// and returns the filled slice.
+func (g *Grid2D) Column(i int, dst []float64) []float64 {
+	if cap(dst) < g.Ny {
+		dst = make([]float64, g.Ny)
+	}
+	dst = dst[:g.Ny]
+	for j := 0; j < g.Ny; j++ {
+		dst[j] = g.Data[j*g.Nx+i]
+	}
+	return dst
+}
+
+// SetColumn writes vals into column i, starting at row 0. len(vals) may be
+// at most Ny; extra rows of the grid are left untouched.
+func (g *Grid2D) SetColumn(i int, vals []float64) {
+	for j, v := range vals {
+		g.Data[j*g.Nx+i] = v
+	}
 }
 
 // Clone returns a deep copy.

@@ -189,3 +189,105 @@ func TestChecksum(t *testing.T) {
 		t.Fatal("-0.0 vs +0.0 collides")
 	}
 }
+
+func TestSubGrid(t *testing.T) {
+	g := NewGrid2D(6, 5, geom.Vec2{X: -1, Y: 2}, 0.25)
+	for i := range g.Data {
+		g.Data[i] = float64(i) + 0.5
+	}
+	sub, err := g.SubGrid(2, 1, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Nx != 3 || sub.Ny != 4 || sub.Cell != g.Cell {
+		t.Fatalf("bad shape %dx%d cell %v", sub.Nx, sub.Ny, sub.Cell)
+	}
+	for j := 0; j < sub.Ny; j++ {
+		for i := 0; i < sub.Nx; i++ {
+			if sub.At(i, j) != g.At(2+i, 1+j) {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, j, sub.At(i, j), g.At(2+i, 1+j))
+			}
+			if sub.Center(i, j) != g.Center(2+i, 1+j) {
+				t.Fatalf("center (%d,%d) moved", i, j)
+			}
+		}
+	}
+	// Extraction at the origin must carry Min through bit-for-bit.
+	sub0, err := g.SubGrid(0, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub0.Min != g.Min {
+		t.Fatal("origin subgrid perturbed Min")
+	}
+	// Copy semantics: mutating the subgrid must not touch the parent.
+	before := g.At(2, 1)
+	sub.Set(0, 0, -99)
+	if g.At(2, 1) != before {
+		t.Fatal("subgrid aliases parent data")
+	}
+	for _, bad := range [][4]int{{-1, 0, 2, 2}, {0, -1, 2, 2}, {0, 0, 0, 2}, {0, 0, 2, 0}, {5, 0, 2, 2}, {0, 4, 2, 2}} {
+		if _, err := g.SubGrid(bad[0], bad[1], bad[2], bad[3]); err == nil {
+			t.Fatalf("subgrid %v accepted", bad)
+		}
+	}
+}
+
+func TestColumnRoundTrip(t *testing.T) {
+	g := NewGrid2D(4, 6, geom.Vec2{}, 1)
+	for i := range g.Data {
+		g.Data[i] = float64(i)
+	}
+	col := g.Column(2, nil)
+	if len(col) != g.Ny {
+		t.Fatalf("column length %d", len(col))
+	}
+	for j, v := range col {
+		if v != g.At(2, j) {
+			t.Fatalf("row %d: %v != %v", j, v, g.At(2, j))
+		}
+	}
+	// Reuse a larger dst without reallocating.
+	dst := make([]float64, 10)
+	col2 := g.Column(2, dst)
+	if &col2[0] != &dst[0] || len(col2) != g.Ny {
+		t.Fatal("dst not reused")
+	}
+	// SetColumn writes back, including short (prefix) writes.
+	h := NewGrid2D(4, 6, geom.Vec2{}, 1)
+	h.SetColumn(2, col)
+	for j := 0; j < g.Ny; j++ {
+		if h.At(2, j) != g.At(2, j) {
+			t.Fatalf("setcolumn row %d mismatch", j)
+		}
+	}
+	mark := h.At(1, 5)
+	h.SetColumn(1, col[:3])
+	if h.At(1, 2) != col[2] || h.At(1, 5) != mark {
+		t.Fatal("prefix SetColumn wrote wrong rows")
+	}
+}
+
+func TestChecksumBits(t *testing.T) {
+	vals := []float64{1.5, -2.25, 0, math.Pi}
+	sum := ChecksumBits(vals)
+	cp := append([]float64(nil), vals...)
+	if ChecksumBits(cp) != sum {
+		t.Fatal("not a pure function of contents")
+	}
+	for i := range vals {
+		c := append([]float64(nil), vals...)
+		c[i] = math.Float64frombits(math.Float64bits(c[i]) ^ 1)
+		if ChecksumBits(c) == sum {
+			t.Fatalf("bit flip at %d not detected", i)
+		}
+	}
+	if ChecksumBits(vals[:3]) == sum {
+		t.Fatal("length does not participate")
+	}
+	neg := append([]float64(nil), vals...)
+	neg[2] = math.Copysign(0, -1)
+	if ChecksumBits(neg) == sum {
+		t.Fatal("-0.0 vs +0.0 collides")
+	}
+}

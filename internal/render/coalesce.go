@@ -1,0 +1,72 @@
+package render
+
+import (
+	"errors"
+	"fmt"
+
+	"godtfe/internal/grid"
+)
+
+// Coalescing families
+//
+// The serving layer batches concurrent requests whose specs can be served
+// from one shared march. That is sound only when every field that
+// participates in a cell's value is identical across the batch: the cell
+// center is Min + (index+0.5)·Cell evaluated at the *global* column/row
+// index, Monte Carlo jitter is keyed on (Seed, i, j, s, k), and the
+// integration interval is (ZMin, ZMax). Two specs that agree on all of
+// those and differ only in their window extents (Nx, Ny) therefore agree
+// bit for bit on every cell they both cover — no epsilon tolerance, no
+// "same origin up to rounding": the family key demands the identical
+// floating-point Min and Cell, because a shifted origin produces different
+// bits even when it lands on the same physical lattice.
+
+// FamilyOf returns the spec's coalescing-family key: the spec with its
+// window extents (Nx, Ny) zeroed. Specs with equal family keys may be
+// served from one shared march or one column cache line (see package
+// comment above for why extents are the only field allowed to differ).
+func FamilyOf(s Spec) Spec {
+	s.Nx, s.Ny = 0, 0
+	return s
+}
+
+// SameFamily reports whether a and b can share a march.
+func SameFamily(a, b Spec) bool { return FamilyOf(a) == FamilyOf(b) }
+
+// UnionSpec returns the minimal spec whose grid covers every input: the
+// common family with Nx = max Nx, Ny = max Ny. All inputs must belong to
+// one family.
+func UnionSpec(specs []Spec) (Spec, error) {
+	if len(specs) == 0 {
+		return Spec{}, errors.New("render: union of no specs")
+	}
+	u := specs[0]
+	for _, s := range specs[1:] {
+		if !SameFamily(u, s) {
+			return Spec{}, errors.New("render: union across coalescing families")
+		}
+		u.Nx = max(u.Nx, s.Nx)
+		u.Ny = max(u.Ny, s.Ny)
+	}
+	return u, nil
+}
+
+// SliceSub extracts spec's Nx×Ny window from a shared family grid (the
+// union march result, or a column-assembled grid). The output grid is
+// allocated from the requester's own spec, so its Min/Cell metadata carry
+// the request's exact bits even in corner cases where the shared grid's
+// metadata compares equal but differs bitwise (-0.0 origins); the data
+// rows are copied from the shared grid's lower-left window.
+func SliceSub(shared *grid.Grid2D, spec Spec) (*grid.Grid2D, error) {
+	if spec.Min != shared.Min || spec.Cell != shared.Cell {
+		return nil, errors.New("render: slice from a different family grid")
+	}
+	if spec.Nx > shared.Nx || spec.Ny > shared.Ny {
+		return nil, fmt.Errorf("render: slice %dx%d exceeds shared grid %dx%d", spec.Nx, spec.Ny, shared.Nx, shared.Ny)
+	}
+	out := spec.Grid()
+	for j := 0; j < spec.Ny; j++ {
+		copy(out.Data[j*spec.Nx:(j+1)*spec.Nx], shared.Data[j*shared.Nx:j*shared.Nx+spec.Nx])
+	}
+	return out, nil
+}

