@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 vet race chaos serve-smoke bench bench-smoke bench-predicates fuzz nopanic ci
+.PHONY: build test tier1 vet race chaos serve-smoke bench bench-smoke bench-predicates fuzz nopanic nocopy ci
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,8 @@ race:
 # of wedging CI.
 chaos:
 	$(GO) test -race -timeout 180s -run 'Chaos|Fault|Recover|Crash|Straggler|Tolerant|Attribution|Tree' \
-		./internal/mpi/... ./internal/fault/... ./internal/pipeline/... ./internal/render/distrender/... ./internal/delaunay/...
+		./internal/mpi/... ./internal/fault/... ./internal/pipeline/... ./internal/render/distrender/... ./internal/delaunay/... \
+		./internal/fieldserve/
 
 # Overload smoke: the resident field service at 2x capacity under the
 # race detector — the real service (bounded queue, shedding, degrade
@@ -39,14 +40,14 @@ serve-smoke:
 	$(GO) test -race -timeout 300s -run 'OverloadSmoke|OverlapStorm' ./internal/fieldserve/ ./internal/vtime/
 
 # Regression benchmarks: run the kernel/entry/codec/build/predicate/
-# distributed-render/field-service suite (including the /parN
-# block-parallel Delaunay builds and the render-coalescing benchmarks)
-# and write BENCH_PR9.json with ns/op, allocs/op, and speedup ratios
-# against the checked-in baseline in bench/baseline_pr9.json (recorded
-# with DTFE_SERVE_NOCOALESCE=1, so the coalescing benches compare
-# against the exact-key single-flight path).
+# distributed-render/field-service/delta-update suite and write
+# BENCH_PR10.json with ns/op, allocs/op, and speedup ratios against the
+# checked-in baseline in bench/baseline_pr10.json. In the baseline the
+# BenchmarkDeltaUpdate entries carry the full-rebuild cost (before
+# ApplyDelta, rebuilding was the only way to update a catalog), so the
+# delta speedup ratios read directly as delta-vs-rebuild.
 bench:
-	$(GO) run ./cmd/dtfe-bench -out BENCH_PR9.json -baseline bench/baseline_pr9.json
+	$(GO) run ./cmd/dtfe-bench -out BENCH_PR10.json -baseline bench/baseline_pr10.json
 
 # Forced-exact predicate microbenchmarks only: the quickest check that a
 # predicates change kept the fallback path fast and allocation-free.
@@ -64,6 +65,7 @@ bench-smoke:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParticleIO -fuzztime 10s ./internal/particleio/
 	$(GO) test -run '^$$' -fuzz FuzzDelaunayInsert -fuzztime 10s ./internal/delaunay/
+	$(GO) test -run '^$$' -fuzz FuzzDelaunayDelta -fuzztime 10s ./internal/delaunay/
 	$(GO) test -run '^$$' -fuzz FuzzDelaunayParallelStitch -fuzztime 10s ./internal/delaunay/
 	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime 10s ./internal/mpi/
 	$(GO) test -run '^$$' -fuzz FuzzPredicatesExact -fuzztime 10s ./internal/geom/
@@ -77,4 +79,13 @@ nopanic:
 	fi
 	@echo "nopanic: clean"
 
-ci: tier1 vet nopanic race chaos serve-smoke bench-smoke fuzz
+# Atomic-telemetry audit: `go vet -copylocks` (flags copies of values
+# carrying locks, which includes every sync/atomic type via its noCopy
+# sentinel) plus the structural scan in cmd/nocopy-audit, which flags
+# by-value receivers/params/results of any struct embedding sync or
+# sync/atomic state — forked counters and copied locks never ship.
+nocopy:
+	$(GO) vet -copylocks ./...
+	$(GO) run ./cmd/nocopy-audit .
+
+ci: tier1 vet nopanic nocopy race chaos serve-smoke bench-smoke fuzz

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	dtfe-bench [-out BENCH_PR9.json] [-baseline bench/baseline_pr9.json]
+//	dtfe-bench [-out BENCH_PR10.json] [-baseline bench/baseline_pr10.json]
 //	           [-bench REGEX] [-benchtime 2s] [-count 1] [-label NAME]
 package main
 
@@ -88,9 +88,9 @@ func gitCommit() string {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_PR9.json", "report output path")
-		baseline  = flag.String("baseline", "bench/baseline_pr9.json", "baseline report to compare against (empty to skip)")
-		benchRe   = flag.String("bench", "BenchmarkKernel|BenchmarkEntry|BenchmarkCodec|BenchmarkDelaunayBuild|BenchmarkPredicate|BenchmarkDistRender|BenchmarkFieldServe", "benchmark regex passed to go test")
+		out       = flag.String("out", "BENCH_PR10.json", "report output path")
+		baseline  = flag.String("baseline", "bench/baseline_pr10.json", "baseline report to compare against (empty to skip)")
+		benchRe   = flag.String("bench", "BenchmarkKernel|BenchmarkEntry|BenchmarkCodec|BenchmarkDelaunayBuild|BenchmarkPredicate|BenchmarkDistRender|BenchmarkFieldServe|BenchmarkDelta", "benchmark regex passed to go test")
 		benchtime = flag.String("benchtime", "2s", "go test -benchtime")
 		count     = flag.Int("count", 1, "go test -count")
 		label     = flag.String("label", "current", "report label")

@@ -55,6 +55,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 16, "max requests served by one shared march")
 	colCache := flag.Int("col-cache", 1<<20, "column-cache budget in grid cells (negative disables)")
 	noCoalesce := flag.Bool("no-coalesce", false, "disable family batching and the column cache (baseline mode)")
+	updates := flag.Int("updates", 0, "incremental catalog updates (band churn) applied concurrently with the load")
 	overlap := flag.Float64("overlap", 0, "fraction of requests drawn from hot coalescing families with varied window extents")
 	overlapFams := flag.Int("overlap-families", 3, "hot family pool size for -overlap")
 	sim := flag.Bool("sim", false, "run the virtual-time model instead of real renders")
@@ -85,7 +86,7 @@ func main() {
 		return
 	}
 	runReal(*in, *particles, *gridN, *specs, *requests, *rate,
-		*workers, *queue, *cache, *degrade, *seed, inj, fieldserve.Options{
+		*workers, *queue, *cache, *degrade, *seed, *updates, inj, fieldserve.Options{
 			BatchWindow:      *batchWindow,
 			MaxBatch:         *maxBatch,
 			ColumnCacheCells: *colCache,
@@ -156,7 +157,7 @@ func runSim(requests int, rate float64, workers, queue, cache int, seed int64, i
 }
 
 func runReal(in string, particles, gridN, specPool, requests int, rate float64,
-	workers, queue, cache, degrade int, seed int64, inj *fault.Injector, copt fieldserve.Options) {
+	workers, queue, cache, degrade int, seed int64, updates int, inj *fault.Injector, copt fieldserve.Options) {
 	var pts []geom.Vec3
 	if in != "" {
 		var err error
@@ -231,6 +232,31 @@ func runReal(in string, particles, gridN, specPool, requests int, rate float64,
 		cancelled                      int
 	)
 	interarrival := time.Duration(float64(time.Second) / rate)
+
+	// Concurrent updater: incremental band-churn deltas land while the
+	// load runs, exercising epoch publication and cache invalidation
+	// under live traffic.
+	var uwg sync.WaitGroup
+	if updates > 0 {
+		gap := time.Duration(requests) * interarrival / time.Duration(updates+1)
+		uwg.Add(1)
+		go func() {
+			defer uwg.Done()
+			cur := pts
+			rng := geomRand(seed + 7)
+			for u := 0; u < updates; u++ {
+				time.Sleep(gap)
+				d := bandChurnDelta(cur, rng)
+				st, err := s.Update(context.Background(), "catalog", d)
+				if err != nil {
+					log.Fatalf("update %d: %v", u, err)
+				}
+				cur = applyDeltaToPoints(cur, d)
+				_ = st
+			}
+		}()
+	}
+
 	start := time.Now()
 	for i := 0; i < requests; i++ {
 		next := start.Add(time.Duration(i) * interarrival)
@@ -275,6 +301,7 @@ func runReal(in string, particles, gridN, specPool, requests int, rate float64,
 		}(i)
 	}
 	wg.Wait()
+	uwg.Wait()
 	wall := time.Since(start)
 
 	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
@@ -308,7 +335,64 @@ func runReal(in string, particles, gridN, specPool, requests int, rate float64,
 		st.Batches, avgBatch, st.MaxBatchSeen, st.Coalesced, st.Marches, st.ColdColumns)
 	fmt.Printf("columns: %d hits, %d misses, %d evicted, %d poisoned, %d resident (%d cells)\n",
 		st.ColHits, st.ColMisses, st.ColEvicted, st.ColPoisoned, st.ColEntries, st.ColCells)
+	fmt.Printf("updates: %d applied (epoch %d), %d dirty columns evicted, %d whole grids evicted\n",
+		st.Updates, st.Epochs, st.DirtyColumns, st.EvictedByUpdate)
 	if failed > 0 {
 		log.Fatalf("%d requests failed unexpectedly", failed)
 	}
+}
+
+// geomRand is a tiny deterministic LCG for the updater's churn (avoids
+// pulling math/rand state through the flags).
+func geomRand(seed int64) func() float64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + 1
+	return func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x>>11) / float64(1<<53)
+	}
+}
+
+// bandChurnDelta removes up to 8 particles from a narrow interior x-band
+// and adds the same count back into the band, keeping the bounding box
+// fixed so updates stay on the incremental (non-DirtyAll) path.
+func bandChurnDelta(pts []geom.Vec3, rnd func() float64) fieldserve.Delta {
+	b := geom.BoundsOf(pts)
+	cx := 0.5 * (b.Min.X + b.Max.X)
+	band := 0.08 * (b.Max.X - b.Min.X)
+	var d fieldserve.Delta
+	for i, p := range pts {
+		interior := p.X > b.Min.X && p.X < b.Max.X && p.Y > b.Min.Y && p.Y < b.Max.Y && p.Z > b.Min.Z && p.Z < b.Max.Z
+		if interior && p.X > cx-band && p.X < cx+band {
+			d.Remove = append(d.Remove, i)
+			if len(d.Remove) == 8 {
+				break
+			}
+		}
+	}
+	for range d.Remove {
+		d.Add = append(d.Add, geom.Vec3{
+			X: cx + band*(2*rnd()-1),
+			Y: b.Min.Y + (0.1+0.8*rnd())*(b.Max.Y-b.Min.Y),
+			Z: b.Min.Z + (0.1+0.8*rnd())*(b.Max.Z-b.Min.Z),
+		})
+	}
+	return d
+}
+
+// applyDeltaToPoints mirrors the delta textually so the updater can
+// build the next delta against the current catalog state.
+func applyDeltaToPoints(pts []geom.Vec3, d fieldserve.Delta) []geom.Vec3 {
+	rm := make(map[int]bool, len(d.Remove))
+	for _, r := range d.Remove {
+		rm[r] = true
+	}
+	out := make([]geom.Vec3, 0, len(pts)-len(rm)+len(d.Add))
+	for i, p := range pts {
+		if !rm[i] {
+			out = append(out, p)
+		}
+	}
+	return append(out, d.Add...)
 }

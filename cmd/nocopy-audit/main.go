@@ -1,0 +1,154 @@
+// Command nocopy-audit is the structural half of `make nocopy`: it
+// complements `go vet -copylocks` (which catches copies of values whose
+// types carry a Lock method) with a source-level scan for the telemetry
+// foot-gun vet's dataflow can miss — declaring a function receiver,
+// parameter, or result as a by-value instance of a struct that embeds
+// sync or sync/atomic state. Copying such a struct forks its counters
+// (and its locks), so every Stats-bearing service type must travel by
+// pointer; the plain snapshot structs returned by Stats() methods hold
+// only plain integers and are exempt by construction.
+//
+// Exit status is nonzero if any violation is found; output is one
+// file:line per offense.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// guardedField reports whether a struct field's type names concurrency
+// state that must never be copied: sync.Mutex and friends, or any
+// sync/atomic value type.
+func guardedField(expr ast.Expr) bool {
+	switch t := expr.(type) {
+	case *ast.SelectorExpr:
+		pkg, ok := t.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name {
+		case "sync":
+			switch t.Sel.Name {
+			case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Map", "Pool":
+				return true
+			}
+		case "atomic":
+			switch t.Sel.Name {
+			case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Value", "Pointer":
+				return true
+			}
+		}
+	case *ast.IndexExpr: // atomic.Pointer[T]
+		return guardedField(t.X)
+	}
+	return false
+}
+
+// structGuarded reports whether any field of the struct (directly, or
+// via an array of them) is guarded.
+func structGuarded(st *ast.StructType) bool {
+	for _, f := range st.Fields.List {
+		t := f.Type
+		if at, ok := t.(*ast.ArrayType); ok {
+			t = at.Elt
+		}
+		if guardedField(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	fset := token.NewFileSet()
+	type pkgFiles struct{ files []*ast.File }
+	pkgs := map[string]*pkgFiles{} // dir -> files (tests included: they copy too)
+
+	for _, root := range roots {
+		filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "nocopy-audit: %v\n", perr)
+				os.Exit(2)
+			}
+			dir := filepath.Dir(path)
+			if pkgs[dir] == nil {
+				pkgs[dir] = &pkgFiles{}
+			}
+			pkgs[dir].files = append(pkgs[dir].files, f)
+			return nil
+		})
+	}
+
+	bad := 0
+	for _, p := range pkgs {
+		// Pass 1: which named structs in this package carry locks/atomics?
+		guarded := map[string]bool{}
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok && structGuarded(st) {
+					guarded[ts.Name.Name] = true
+				}
+				return true
+			})
+		}
+		if len(guarded) == 0 {
+			continue
+		}
+		// Pass 2: flag by-value receivers, params, and results of those
+		// types. A bare Ident of a guarded name in a signature is a copy.
+		flag := func(field *ast.Field, kind string) {
+			id, ok := field.Type.(*ast.Ident)
+			if !ok || !guarded[id.Name] {
+				return
+			}
+			pos := fset.Position(field.Pos())
+			fmt.Printf("%s: %s passes %s by value (copies its locks/atomics)\n", pos, kind, id.Name)
+			bad++
+		}
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fd.Recv != nil {
+					for _, r := range fd.Recv.List {
+						flag(r, "receiver")
+					}
+				}
+				if fd.Type.Params != nil {
+					for _, prm := range fd.Type.Params.List {
+						flag(prm, "parameter")
+					}
+				}
+				if fd.Type.Results != nil {
+					for _, res := range fd.Type.Results.List {
+						flag(res, "result")
+					}
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("nocopy-audit: clean")
+}

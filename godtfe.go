@@ -119,10 +119,32 @@ type GridSpec = render.Spec
 // WorkerStat reports one render worker's share of the work.
 type WorkerStat = render.WorkerStat
 
+// Delta is an incremental catalog edit: particle indices to remove and
+// particles to add, applied together by ApplyDelta.
+type Delta = delaunay.Delta
+
+// DeltaStats reports what an ApplyDelta did: insert/remove/repair
+// counts, whether it fell back to a full rebuild, and the dirty x-region
+// (the sound overapproximation of every render column whose values may
+// have changed).
+type DeltaStats = delaunay.DeltaStats
+
 // Triangulate builds the Delaunay triangulation of points (robust to
 // duplicates, grids, and cospherical degeneracies).
 func Triangulate(points []Vec3) (*Triangulation, error) {
 	return delaunay.New(points)
+}
+
+// ApplyDelta applies an incremental edit to an existing triangulation
+// and returns the updated triangulation: removals by local star
+// re-triangulation, insertions by standard cavity repair, both with the
+// library's exact predicates. The receiver is never mutated — touched
+// tet records are copied, so renders in flight on the old mesh stay
+// consistent — and after canonical compaction the result is deeply equal
+// to Triangulate on the edited point set (a rebuild fallback, reported
+// in DeltaStats, guarantees this even when local repair declines).
+func ApplyDelta(tri *Triangulation, d Delta) (*Triangulation, *DeltaStats, error) {
+	return tri.ApplyDelta(d)
 }
 
 // TriangulateParallel builds the same triangulation as Triangulate using

@@ -90,6 +90,10 @@ type Triangulation struct {
 	cval  []bool
 	rng   uint64
 
+	// dlog records kills/creates for dirty-region tracking while an
+	// ApplyDelta runs (delta.go); always nil on exposed triangulations.
+	dlog *deltaLog
+
 	insertedCount int
 }
 
@@ -180,7 +184,7 @@ func buildRaw(pts []geom.Vec3, brio bool) (*Triangulation, error) {
 	}
 	for _, idx := range order {
 		v := int32(idx)
-		if used[v] {
+		if v == used[0] || v == used[1] || v == used[2] || v == used[3] {
 			continue
 		}
 		if err := t.insert(v); err != nil {
@@ -192,8 +196,8 @@ func buildRaw(pts []geom.Vec3, brio bool) (*Triangulation, error) {
 
 // initFirstTet finds four affinely independent points (scanning in Morton
 // order), builds the first finite tet plus its four infinite tets, and
-// returns the set of consumed vertex indices.
-func (t *Triangulation) initFirstTet(order []int) (map[int32]bool, error) {
+// returns the four consumed vertex indices.
+func (t *Triangulation) initFirstTet(order []int) ([4]int32, error) {
 	p := t.pts
 	i0 := int32(order[0])
 	i1, i2, i3 := NoTet, NoTet, NoTet
@@ -217,7 +221,7 @@ func (t *Triangulation) initFirstTet(order []int) (map[int32]bool, error) {
 		}
 	}
 	if i3 == NoTet {
-		return nil, geomerr.Degenerate("delaunay.New", "all points are coplanar")
+		return [4]int32{}, geomerr.Degenerate("delaunay.New", "all points are coplanar")
 	}
 	if geom.Orient3D(p[i0], p[i1], p[i2], p[i3]) < 0 {
 		i1, i2 = i2, i1
@@ -244,8 +248,7 @@ func (t *Triangulation) initFirstTet(order []int) (map[int32]bool, error) {
 	}
 	t.last = t0
 	t.insertedCount = 4
-	used := map[int32]bool{i0: true, i1: true, i2: true, i3: true}
-	return used, nil
+	return [4]int32{i0, i1, i2, i3}, nil
 }
 
 // collinear reports whether a, b, c are exactly collinear, using exact 2D
@@ -304,22 +307,30 @@ func (t *Triangulation) newTet(tet Tet) int32 {
 	if tet.N == ([4]int32{}) {
 		tet.N = [4]int32{NoTet, NoTet, NoTet, NoTet}
 	}
+	var idx int32
 	if n := len(t.free); n > 0 {
-		idx := t.free[n-1]
+		idx = t.free[n-1]
 		t.free = t.free[:n-1]
 		t.tets[idx] = tet
 		t.dead[idx] = false
-		return idx
+	} else {
+		t.tets = append(t.tets, tet)
+		t.dead = append(t.dead, false)
+		t.mark = append(t.mark, 0)
+		t.cmark = append(t.cmark, 0)
+		t.cval = append(t.cval, false)
+		idx = int32(len(t.tets) - 1)
 	}
-	t.tets = append(t.tets, tet)
-	t.dead = append(t.dead, false)
-	t.mark = append(t.mark, 0)
-	t.cmark = append(t.cmark, 0)
-	t.cval = append(t.cval, false)
-	return int32(len(t.tets) - 1)
+	if t.dlog != nil {
+		t.dlog.noteNew(t, idx)
+	}
+	return idx
 }
 
 func (t *Triangulation) killTet(ti int32) {
+	if t.dlog != nil {
+		t.dlog.noteKill(t, ti)
+	}
 	t.dead[ti] = true
 	t.free = append(t.free, ti)
 }

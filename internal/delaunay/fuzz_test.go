@@ -110,6 +110,137 @@ func FuzzDelaunayInsert(f *testing.F) {
 	})
 }
 
+// FuzzDelaunayDelta replays random edit scripts against the rebuild
+// oracle. The input encodes a base catalog followed by an op stream
+// (removals by index, insertions by quantized coordinate); ops are
+// grouped into small deltas applied in sequence. After every delta the
+// incremental state must be deeply equal to a from-scratch build of the
+// edited point set, or both sides must reject it with the typed
+// taxonomy — ApplyDelta may never panic, corrupt the mesh, or diverge
+// from the oracle.
+func FuzzDelaunayDelta(f *testing.F) {
+	enc := func(v float64) byte {
+		if math.IsNaN(v) {
+			return 0xff
+		}
+		if math.IsInf(v, 0) {
+			return 0xfe
+		}
+		return byte(v * 16)
+	}
+	opRemove := func(idx int) []byte { return []byte{byte(idx << 1)} }
+	opAdd := func(p geom.Vec3) []byte { return []byte{1, enc(p.X), enc(p.Y), enc(p.Z)} }
+	seed := func(base []geom.Vec3, ops ...[]byte) {
+		b := []byte{byte(len(base))}
+		for _, p := range base {
+			b = append(b, enc(p.X), enc(p.Y), enc(p.Z))
+		}
+		for _, op := range ops {
+			b = append(b, op...)
+		}
+		f.Add(b)
+	}
+
+	var lattice []geom.Vec3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				lattice = append(lattice, geom.Vec3{X: float64(i) / 16, Y: float64(j) / 16, Z: float64(k) / 16})
+			}
+		}
+	}
+	// Insert-then-remove the same point in one delta: the removal index
+	// names the live center vertex while the add re-supplies its exact
+	// coordinates, so the duplicate bookkeeping and the cavity repair land
+	// in the same surgery.
+	seed(lattice, opRemove(13), opAdd(lattice[13]))
+	// Removal emptying a whole block: two clusters separated by a void;
+	// the script deletes one cluster entirely, one vertex per op.
+	voids := stitchBoundarySeeds()[2]
+	var emptyBlock [][]byte
+	for i := 1; i < len(voids); i += 2 {
+		emptyBlock = append(emptyBlock, opRemove(i))
+	}
+	seed(voids, emptyBlock...)
+	// Hull-vertex removal: the strict bounding-box corner goes away, so
+	// the star repair must handle outer wedges (or fall back) and the
+	// bbox shrinks.
+	corner := append(append([]geom.Vec3(nil), lattice...), geom.Vec3{X: 15.0 / 16, Y: 15.0 / 16, Z: 15.0 / 16})
+	seed(corner, opRemove(27), opRemove(0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		nb := int(data[0])
+		data = data[1:]
+		if nb > len(data)/3 {
+			nb = len(data) / 3
+		}
+		if nb == 0 {
+			return
+		}
+		cur := decodeFuzzPoints(data[:3*nb], nb)
+		rest := data[3*nb:]
+		tri, err := New(cur)
+		if err != nil {
+			if !errors.Is(err, geomerr.ErrDegenerateInput) &&
+				!errors.Is(err, geomerr.ErrMeshCorrupt) &&
+				!errors.Is(err, geomerr.ErrLocateDiverged) {
+				t.Fatalf("error outside the taxonomy: %v", err)
+			}
+			return
+		}
+
+		i, ops := 0, 0
+		for i < len(rest) && ops < 24 {
+			var d Delta
+			seen := make(map[int]bool)
+			for len(d.Remove)+len(d.Add) < 4 && i < len(rest) {
+				op := rest[i]
+				if op&1 == 1 && i+3 < len(rest) {
+					d.Add = append(d.Add, decodeFuzzPoints(rest[i+1:i+4], 1)[0])
+					i += 4
+				} else {
+					i++
+					idx := int(op>>1) % len(cur)
+					if seen[idx] {
+						continue
+					}
+					seen[idx] = true
+					d.Remove = append(d.Remove, idx)
+				}
+				ops++
+			}
+			if len(d.Remove)+len(d.Add) == 0 {
+				continue
+			}
+			final := applyOracle(cur, d)
+			got, _, err := tri.ApplyDelta(d)
+			want, werr := New(final)
+			if werr != nil {
+				if err == nil {
+					t.Fatalf("oracle rejected the edited set (%v) but ApplyDelta accepted it", werr)
+				}
+				if !errors.Is(err, geomerr.ErrDegenerateInput) &&
+					!errors.Is(err, geomerr.ErrMeshCorrupt) &&
+					!errors.Is(err, geomerr.ErrLocateDiverged) {
+					t.Fatalf("error outside the taxonomy: %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ApplyDelta failed (%v) where a rebuild of the edited set succeeds", err)
+			}
+			if verr := got.Validate(); verr != nil {
+				t.Fatalf("updated triangulation fails validation: %v", verr)
+			}
+			requireTriEqual(t, want, got)
+			tri, cur = got, final
+		}
+	})
+}
+
 // stitchBoundarySeeds are point sets engineered to land on or straddle the
 // split planes of small block decompositions — the seams the parallel
 // stitcher certifies across. Shared by FuzzDelaunayInsert (serial

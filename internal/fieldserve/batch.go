@@ -155,7 +155,7 @@ func (s *Service) executeBatch(members []*task) {
 	defer stopMerge()
 
 	leader := members[0]
-	m, err := s.marcherFor(mctx, leader.key.Catalog)
+	mv, cat, err := s.viewFor(mctx, leader.key.Catalog)
 	if err != nil {
 		s.failBatch(members, err)
 		return
@@ -185,10 +185,17 @@ func (s *Service) executeBatch(members []*task) {
 		}
 	}
 
+	// The epoch guard: the batch marched mv; if the catalog has moved to
+	// a newer epoch by the time a cache insert is attempted (evaluated
+	// under the cache lock, after the update's invalidation sweep), the
+	// insert is dropped — the member responses are still served from the
+	// consistent old-epoch grid, it just never becomes resident.
+	insertOK := func() bool { return cat.epoch() == mv.epoch }
+
 	start := time.Now()
 	shared, _, wholeHit, err := s.cache.do(mctx, unionKey, func(ctx context.Context) (*grid.Grid2D, uint64, error) {
-		return s.buildUnion(ctx, m, unionKey, poisonCol)
-	}, corrupt)
+		return s.buildUnion(ctx, mv, cat, unionKey, poisonCol)
+	}, corrupt, insertOK)
 	if err != nil {
 		s.failBatch(members, err)
 		return
@@ -217,8 +224,12 @@ func (s *Service) executeBatch(members []*task) {
 // buildUnion produces the union grid for a batch: pull every column the
 // family has cached, march only the cold runs, then publish the marched
 // columns back to the column cache. With the column cache disabled the
-// whole union is marched directly.
-func (s *Service) buildUnion(ctx context.Context, m *render.Marcher, key Key, poisonCol bool) (*grid.Grid2D, uint64, error) {
+// whole union is marched directly. All column traffic is pinned to the
+// batch's mesh view: gets require the view's epoch tag and puts carry it
+// (guarded against publishing after a newer epoch landed), so the
+// assembled grid is a pure function of one mesh epoch.
+func (s *Service) buildUnion(ctx context.Context, mv *meshView, cat *catalog, key Key, poisonCol bool) (*grid.Grid2D, uint64, error) {
+	m := mv.m
 	spec := key.Spec
 	if s.colcache == nil {
 		s.marches.Add(1)
@@ -230,12 +241,13 @@ func (s *Service) buildUnion(ctx context.Context, m *render.Marcher, key Key, po
 		return out, out.Checksum(), nil
 	}
 
+	insertOK := func() bool { return cat.epoch() == mv.epoch }
 	fam := render.FamilyOf(spec)
 	dst := spec.Grid()
 	var runs []render.Tile
 	coldStart := -1
 	for i := 0; i < spec.Nx; i++ {
-		if vals, ok := s.colcache.get(colKey{Catalog: key.Catalog, Family: fam, Col: i}, spec.Ny); ok {
+		if vals, ok := s.colcache.get(colKey{Catalog: key.Catalog, Family: fam, Col: i}, spec.Ny, mv.epoch); ok {
 			dst.SetColumn(i, vals)
 			if coldStart >= 0 {
 				runs = append(runs, render.Tile{I0: coldStart, I1: i})
@@ -258,7 +270,7 @@ func (s *Service) buildUnion(ctx context.Context, m *render.Marcher, key Key, po
 			s.coldCols.Add(uint64(r.I1 - r.I0))
 			for i := r.I0; i < r.I1; i++ {
 				vals := dst.Column(i, nil)
-				s.colcache.put(colKey{Catalog: key.Catalog, Family: fam, Col: i}, vals)
+				s.colcache.put(colKey{Catalog: key.Catalog, Family: fam, Col: i}, vals, mv.epoch, insertOK)
 				if poisonCol && i == r.I0 {
 					// Fault injection: corrupt one marched column's *stored*
 					// copy in place after its checksum was recorded (cache

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"sync"
 
+	"godtfe/internal/delaunay"
 	"godtfe/internal/grid"
 	"godtfe/internal/render"
 )
@@ -168,9 +169,15 @@ func (c *tileCache) peek(key Key) (*grid.Grid2D, uint64, bool) {
 // non-nil, poisons the *stored* copy after a successful fill (fault
 // injection): the caller is still served the pristine grid, and the next
 // hit's checksum verification is expected to catch the corruption.
+// insertOK, when non-nil, is evaluated under the cache lock right before
+// the filled grid would be stored; a false verdict serves the caller its
+// grid but skips the insert. The update path uses it as the epoch guard:
+// a batch that marched an old mesh epoch must not publish its result
+// after an update's invalidation sweep has run.
 func (c *tileCache) do(ctx context.Context, key Key,
 	fill func(context.Context) (*grid.Grid2D, uint64, error),
 	corrupt func(*grid.Grid2D) *grid.Grid2D,
+	insertOK func() bool,
 ) (*grid.Grid2D, uint64, bool, error) {
 	for {
 		c.mu.Lock()
@@ -202,7 +209,7 @@ func (c *tileCache) do(ctx context.Context, key Key,
 
 		f.g, f.sum, f.err = fill(ctx)
 		c.mu.Lock()
-		if f.err == nil {
+		if f.err == nil && (insertOK == nil || insertOK()) {
 			stored := f.g
 			if corrupt != nil {
 				stored = corrupt(f.g)
@@ -214,6 +221,33 @@ func (c *tileCache) do(ctx context.Context, key Key,
 		close(f.done)
 		return f.g, f.sum, false, f.err
 	}
+}
+
+// invalidate evicts every resident grid of catalog whose x-extent
+// intersects the update's dirty region (all of them under DirtyAll) and
+// returns how many were dropped. Surviving grids need no epoch tag: the
+// dirty region is a sound overapproximation of every column whose values
+// changed, so a grid it does not touch is bit-identical on the new mesh
+// and keeps serving. In-flight fills are handled by do's insertOK guard,
+// not here — a flight's grid is not resident until its insert.
+func (c *tileCache) invalidate(catalog string, st *delaunay.DeltaStats) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var victims []*cacheEntry
+	for _, e := range c.entries {
+		if e.key.Catalog != catalog {
+			continue
+		}
+		lo := e.key.Spec.Min.X
+		hi := lo + float64(e.key.Spec.Nx)*e.key.Spec.Cell
+		if st.DirtyAll || st.DirtyIntersects(lo, hi) {
+			victims = append(victims, e)
+		}
+	}
+	for _, e := range victims {
+		c.removeLocked(e)
+	}
+	return len(victims)
 }
 
 // cacheStats is a consistent snapshot of the cache counters.

@@ -64,7 +64,7 @@ func TestCacheSingleFlight(t *testing.T) {
 				time.Sleep(20 * time.Millisecond) // hold the flight open so followers pile up
 				g := fillGrid(key)
 				return g, g.Checksum(), nil
-			}, nil)
+			}, nil, nil)
 			if err != nil {
 				t.Error(err)
 				return
@@ -100,7 +100,7 @@ func TestCacheFlightContexts(t *testing.T) {
 			close(started)
 			<-ctx.Done() // simulate a render aborted by the leader's cancellation
 			return nil, 0, context.Cause(ctx)
-		}, nil)
+		}, nil, nil)
 		leaderDone <- err
 	}()
 	<-started
@@ -111,7 +111,7 @@ func TestCacheFlightContexts(t *testing.T) {
 	_, _, _, err := c.do(shortCtx, key, func(context.Context) (*grid.Grid2D, uint64, error) {
 		t.Error("dead follower must not fill")
 		return nil, 0, nil
-	}, nil)
+	}, nil, nil)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("dead follower: err = %v", err)
 	}
@@ -123,7 +123,7 @@ func TestCacheFlightContexts(t *testing.T) {
 		g, _, _, err := c.do(context.Background(), key, func(context.Context) (*grid.Grid2D, uint64, error) {
 			g := fillGrid(key)
 			return g, g.Checksum(), nil
-		}, nil)
+		}, nil, nil)
 		if err != nil {
 			t.Error(err)
 		}
@@ -153,7 +153,7 @@ func TestCacheEviction(t *testing.T) {
 		_, _, _, err := c.do(context.Background(), key, func(context.Context) (*grid.Grid2D, uint64, error) {
 			g := fillGrid(key)
 			return g, g.Checksum(), nil
-		}, nil)
+		}, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +198,7 @@ func TestCachePoisonVerification(t *testing.T) {
 	g, gotSum, hit, err := c.do(context.Background(), key, func(context.Context) (*grid.Grid2D, uint64, error) {
 		g := fillGrid(key)
 		return g, g.Checksum(), nil
-	}, nil)
+	}, nil, nil)
 	if err != nil || hit {
 		t.Fatalf("refill: hit=%v err=%v", hit, err)
 	}
@@ -238,7 +238,7 @@ func TestCacheConcurrentSoak(t *testing.T) {
 				g, sum, _, err := c.do(context.Background(), key, func(context.Context) (*grid.Grid2D, uint64, error) {
 					g := fillGrid(key)
 					return g, g.Checksum(), nil
-				}, nil)
+				}, nil, nil)
 				if err != nil {
 					t.Error(err)
 					return

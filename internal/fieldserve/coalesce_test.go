@@ -408,18 +408,18 @@ func TestColCache(t *testing.T) {
 	}
 
 	c := newColCache(100, 0)
-	c.put(key("a", 0), colVals(10, 1))
-	if got, ok := c.get(key("a", 0), 10); !ok || len(got) != 10 || got[9] != 10 {
+	c.put(key("a", 0), colVals(10, 1), 0, nil)
+	if got, ok := c.get(key("a", 0), 10, 0); !ok || len(got) != 10 || got[9] != 10 {
 		t.Fatal("full-height lookup failed")
 	}
-	if got, ok := c.get(key("a", 0), 6); !ok || len(got) != 6 || got[5] != 6 {
+	if got, ok := c.get(key("a", 0), 6, 0); !ok || len(got) != 6 || got[5] != 6 {
 		t.Fatal("prefix lookup failed")
 	}
-	if _, ok := c.get(key("a", 0), 11); ok {
+	if _, ok := c.get(key("a", 0), 11, 0); ok {
 		t.Fatal("short entry served a taller request")
 	}
-	c.put(key("a", 0), colVals(20, 1)) // taller replacement
-	if got, ok := c.get(key("a", 0), 20); !ok || len(got) != 20 {
+	c.put(key("a", 0), colVals(20, 1), 0, nil) // taller replacement
+	if got, ok := c.get(key("a", 0), 20, 0); !ok || len(got) != 20 {
 		t.Fatal("taller replacement not served")
 	}
 	if st := c.stats(); st.Cells != 20 || st.Entries != 1 {
@@ -429,7 +429,7 @@ func TestColCache(t *testing.T) {
 	// Budget eviction: 100-cell budget, 20 resident + 5×20 more → the
 	// oldest columns leave and the budget holds.
 	for i := 1; i <= 5; i++ {
-		c.put(key("a", i), colVals(20, float64(i)))
+		c.put(key("a", i), colVals(20, float64(i)), 0, nil)
 	}
 	st := c.stats()
 	if st.Cells > 100 {
@@ -438,14 +438,14 @@ func TestColCache(t *testing.T) {
 	if st.Evicted == 0 {
 		t.Fatal("over-budget inserts evicted nothing")
 	}
-	if _, ok := c.get(key("a", 0), 1); ok {
+	if _, ok := c.get(key("a", 0), 1, 0); ok {
 		t.Fatal("LRU column survived budget pressure")
 	}
 
 	// Poison detection: corrupt a resident column in place.
 	e := c.entries[key("a", 5)]
 	e.vals[3] = math.Float64frombits(math.Float64bits(e.vals[3]) ^ 1)
-	if _, ok := c.get(key("a", 5), 20); ok {
+	if _, ok := c.get(key("a", 5), 20, 0); ok {
 		t.Fatal("poisoned column served")
 	}
 	if st := c.stats(); st.Poisoned != 1 {
@@ -456,27 +456,27 @@ func TestColCache(t *testing.T) {
 	// inserts under pressure evict its own columns, not catalog "cold"'s.
 	q := newColCache(100, 40)
 	for i := 0; i < 3; i++ {
-		q.put(key("cold", i), colVals(20, float64(i)))
+		q.put(key("cold", i), colVals(20, float64(i)), 0, nil)
 	}
 	for i := 0; i < 8; i++ {
-		q.put(key("h", i), colVals(20, float64(100+i)))
+		q.put(key("h", i), colVals(20, float64(100+i)), 0, nil)
 	}
 	for i := 0; i < 3; i++ {
-		if _, ok := q.get(key("cold", i), 20); !ok {
+		if _, ok := q.get(key("cold", i), 20, 0); !ok {
 			t.Fatalf("cold catalog's column %d evicted by the hot catalog", i)
 		}
 	}
 	if qs := q.stats(); qs.Cells > 100 {
 		t.Fatalf("quota cache over budget: %+v", qs)
 	}
-	if _, ok := q.get(key("h", 7), 20); !ok {
+	if _, ok := q.get(key("h", 7), 20, 0); !ok {
 		t.Fatal("hot catalog's newest column missing")
 	}
 
 	// nil cache (disabled) is safe.
 	var nilCache *colCache
-	nilCache.put(key("a", 0), colVals(4, 0))
-	if _, ok := nilCache.get(key("a", 0), 4); ok {
+	nilCache.put(key("a", 0), colVals(4, 0), 0, nil)
+	if _, ok := nilCache.get(key("a", 0), 4, 0); ok {
 		t.Fatal("nil cache served a hit")
 	}
 	if st := nilCache.stats(); st != (colStats{}) {

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"godtfe/internal/delaunay"
 	"godtfe/internal/grid"
 	"godtfe/internal/render"
 )
@@ -23,11 +24,19 @@ type colKey struct {
 // column, and is immutable once inserted: a hit hands out a prefix view of
 // the same backing array, so nothing downstream may write to it (callers
 // copy into their own grids via SetColumn).
+//
+// epoch is the catalog mesh epoch whose field the values were marched
+// from (or proven identical to: an update's invalidation sweep re-tags
+// clean survivors to the new epoch). The invariant after every sweep is
+// that all resident entries of a catalog carry its current epoch, so a
+// get by a stale batch misses and the batch re-marches a consistent
+// old-epoch response instead of mixing epochs.
 type colEntry struct {
-	key  colKey
-	vals []float64
-	sum  uint64 // grid.ChecksumBits(vals) at insert; re-verified on every hit
-	elem *list.Element
+	key   colKey
+	vals  []float64
+	sum   uint64 // grid.ChecksumBits(vals) at insert; re-verified on every hit
+	epoch uint64
+	elem  *list.Element
 }
 
 // colCache is the column-granular render cache beneath the batcher,
@@ -69,15 +78,17 @@ func newColCache(budget, catBudget int) *colCache {
 
 // get returns the verified rows 0..ny-1 of the cached column, or a miss.
 // The returned slice aliases the immutable cache entry; callers must only
-// read it.
-func (c *colCache) get(key colKey, ny int) ([]float64, bool) {
+// read it. epoch is the caller's mesh epoch: an entry tagged differently
+// is a miss (never served), which is what keeps a batch's assembled union
+// grid internally consistent across concurrent updates.
+func (c *colCache) get(key colKey, ny int, epoch uint64) ([]float64, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
-	if !ok || len(e.vals) < ny {
+	if !ok || len(e.vals) < ny || e.epoch != epoch {
 		c.misses++
 		return nil, false
 	}
@@ -94,16 +105,23 @@ func (c *colCache) get(key colKey, ny int) ([]float64, bool) {
 
 // put inserts a freshly marched column. vals is adopted, not copied — the
 // caller must hand over a private slice and never write to it again.
-func (c *colCache) put(key colKey, vals []float64) {
+// epoch tags the entry with the mesh epoch it was marched from; insertOK,
+// when non-nil, is evaluated under the cache lock and a false verdict
+// drops the insert — the epoch guard against a stale batch publishing
+// old-epoch columns after an update's sweep already ran.
+func (c *colCache) put(key colKey, vals []float64, epoch uint64, insertOK func() bool) {
 	if c == nil || len(vals) == 0 || len(vals) > c.budget {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if insertOK != nil && !insertOK() {
+		return
+	}
 	if old, ok := c.entries[key]; ok {
 		c.removeLocked(old)
 	}
-	e := &colEntry{key: key, vals: vals, sum: grid.ChecksumBits(vals)}
+	e := &colEntry{key: key, vals: vals, sum: grid.ChecksumBits(vals), epoch: epoch}
 	e.elem = c.order.PushFront(e)
 	c.entries[key] = e
 	c.cells += len(vals)
@@ -112,6 +130,40 @@ func (c *colCache) put(key colKey, vals []float64) {
 		c.removeLocked(c.victimLocked(key.Catalog))
 		c.evicted++
 	}
+}
+
+// invalidate sweeps one catalog's columns after a mesh update. Columns
+// whose x-range intersects the dirty region (every column under DirtyAll)
+// are evicted; clean survivors are re-tagged to the new epoch — the dirty
+// region soundly overapproximates every changed column, so a clean
+// column's values are bit-identical on the new mesh and may keep serving
+// new-epoch batches without a re-march. Still-running old-epoch batches
+// then miss on everything (epoch mismatch) and re-march a consistent
+// old-epoch response from their retained mesh view. Returns the evicted
+// count.
+func (c *colCache) invalidate(catalog string, st *delaunay.DeltaStats, newEpoch uint64) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var victims []*colEntry
+	for _, e := range c.entries {
+		if e.key.Catalog != catalog {
+			continue
+		}
+		lo := e.key.Family.Min.X + float64(e.key.Col)*e.key.Family.Cell
+		hi := lo + e.key.Family.Cell
+		if st.DirtyAll || st.DirtyIntersects(lo, hi) {
+			victims = append(victims, e)
+		} else {
+			e.epoch = newEpoch
+		}
+	}
+	for _, e := range victims {
+		c.removeLocked(e)
+	}
+	return len(victims)
 }
 
 func (c *colCache) removeLocked(e *colEntry) {

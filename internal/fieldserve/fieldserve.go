@@ -12,6 +12,7 @@ import (
 	"godtfe/internal/dtfe"
 	"godtfe/internal/fault"
 	"godtfe/internal/geom"
+	"godtfe/internal/geomerr"
 	"godtfe/internal/grid"
 	"godtfe/internal/render"
 )
@@ -125,20 +126,55 @@ type Stats struct {
 	ColCells    int
 	ColEntries  int
 
+	// Delta-update counters (Service.Update).
+	Updates         uint64 // accepted catalog updates, incl. pre-build edits
+	DirtyColumns    uint64 // column-cache entries evicted as dirty by updates
+	EvictedByUpdate uint64 // whole-grid cache entries evicted by update sweeps
+	Epochs          uint64 // highest mesh epoch reached by any catalog
+
 	QueueLen int
 	Active   int // workers currently executing a batch
 }
 
-// catalog is one registered particle set and its lazily built, pinned
-// mesh. built closes exactly once, after which m/err are immutable.
+// Delta is an incremental catalog edit, re-exported so Update callers
+// need not import internal/delaunay directly.
+type Delta = delaunay.Delta
+
+// meshView is one immutable mesh epoch: a triangulation and the marcher
+// over its density field. Updates never mutate a published view —
+// ApplyDelta is copy-on-write over the touched tet records — so a batch
+// that loaded a view keeps a consistent mesh for its whole march even
+// while later epochs land.
+type meshView struct {
+	m     *render.Marcher
+	tri   *delaunay.Triangulation
+	epoch uint64
+}
+
+// catalog is one registered particle set and its lazily built mesh.
+// built closes exactly once (after which err is immutable and view is
+// non-nil on success); view is thereafter swapped atomically by Update,
+// one epoch at a time.
 type catalog struct {
 	pts []geom.Vec3
 
 	mu       sync.Mutex
 	building bool
 	built    chan struct{}
-	m        *render.Marcher
 	err      error
+
+	// umu serializes updates: ApplyDelta, the view swap, and the cache
+	// sweeps happen under it, so epochs are totally ordered per catalog.
+	umu  sync.Mutex
+	view atomic.Pointer[meshView]
+}
+
+// epoch returns the catalog's current mesh epoch (0 before any update).
+func (c *catalog) epoch() uint64 {
+	if v := c.view.Load(); v != nil {
+		return v.epoch
+	}
+	return 0
 }
 
 type task struct {
@@ -188,6 +224,7 @@ type Service struct {
 	buildNs                                   atomic.Uint64
 	batches, batchedReqs, coalesced, maxBatch atomic.Uint64
 	marches, coldCols                         atomic.Uint64
+	updates, dirtyCols, updEvicted, epochs    atomic.Uint64
 	active                                    atomic.Int64
 }
 
@@ -415,17 +452,18 @@ func (s *Service) observeBatch(d time.Duration, size int) {
 	}
 }
 
-// marcherFor returns the pinned marcher for a catalog, building the mesh
+// viewFor returns the current mesh view for a catalog, building the mesh
 // exactly once. The build runs on a detached goroutine so the initiating
 // request's cancellation cannot abort a build other requests are waiting
 // on; waiters block on the build or their own context, whichever ends
-// first.
-func (s *Service) marcherFor(ctx context.Context, name string) (*render.Marcher, error) {
+// first. The triangulation is retained in the view so Update can apply
+// incremental deltas to it.
+func (s *Service) viewFor(ctx context.Context, name string) (*meshView, *catalog, error) {
 	s.mu.RLock()
 	cat := s.catalogs[name]
 	s.mu.RUnlock()
 	if cat == nil {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownCatalog, name)
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownCatalog, name)
 	}
 	cat.mu.Lock()
 	if !cat.building {
@@ -445,7 +483,7 @@ func (s *Service) marcherFor(ctx context.Context, name string) (*render.Marcher,
 				cat.err = fmt.Errorf("fieldserve: building catalog %q: %w", name, err)
 				return
 			}
-			cat.m = render.NewMarcher(f)
+			cat.view.Store(&meshView{m: render.NewMarcher(f), tri: tri, epoch: 0})
 			cat.pts = nil // the SoA mesh is the serving asset now
 			s.buildNs.Add(uint64(time.Since(start).Nanoseconds()))
 		}()
@@ -453,9 +491,136 @@ func (s *Service) marcherFor(ctx context.Context, name string) (*render.Marcher,
 	cat.mu.Unlock()
 	select {
 	case <-cat.built:
-		return cat.m, cat.err
+		if cat.err != nil {
+			return nil, nil, cat.err
+		}
+		return cat.view.Load(), cat, nil
+	case <-ctx.Done():
+		return nil, nil, context.Cause(ctx)
+	}
+}
+
+// Update applies an incremental delta to a registered catalog via
+// delaunay.ApplyDelta. Updates on one catalog are serialized; each
+// successful update publishes a new mesh epoch and sweeps both caches.
+//
+// Ordering is the crux: the new view is stored BEFORE the sweeps, so from
+// that instant every cache insert by a still-running old-epoch batch is
+// rejected by the epoch guard — anything the sweeps cannot see (because
+// it is not inserted yet) is already unstorable. In-flight old-epoch
+// batches keep rendering their retained view (copy-on-write keeps it
+// consistent) and either complete with a pure old-epoch response or die
+// with their contexts; no response ever mixes epochs.
+//
+// If the catalog's mesh has not been built yet the delta is applied
+// textually to the pending particle list — there is nothing cached to
+// sweep and no epoch to bump, and the eventual lazy build sees the final
+// points.
+func (s *Service) Update(ctx context.Context, name string, d delaunay.Delta) (*delaunay.DeltaStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.RLock()
+	closed := s.closed
+	cat := s.catalogs[name]
+	s.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if cat == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCatalog, name)
+	}
+
+	cat.umu.Lock()
+	defer cat.umu.Unlock()
+
+	cat.mu.Lock()
+	if !cat.building {
+		// Pre-build textual path: no mesh, no caches, no readers.
+		npts, st, err := editPoints(cat.pts, d)
+		if err != nil {
+			cat.mu.Unlock()
+			return nil, err
+		}
+		cat.pts = npts
+		cat.mu.Unlock()
+		s.updates.Add(1)
+		return st, nil
+	}
+	cat.mu.Unlock()
+
+	select {
+	case <-cat.built:
 	case <-ctx.Done():
 		return nil, context.Cause(ctx)
+	}
+	if cat.err != nil {
+		return nil, cat.err
+	}
+
+	old := cat.view.Load()
+	tri, st, err := old.tri.ApplyDelta(d)
+	if err != nil {
+		return nil, fmt.Errorf("fieldserve: updating catalog %q: %w", name, err)
+	}
+	f, err := dtfe.NewField(tri, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fieldserve: updating catalog %q: %w", name, err)
+	}
+	nv := &meshView{m: render.NewMarcher(f), tri: tri, epoch: old.epoch + 1}
+
+	cat.view.Store(nv) // publish first; see ordering note above
+	s.bumpEpochs(nv.epoch)
+	ev := s.cache.invalidate(name, st)
+	dirty := s.colcache.invalidate(name, st, nv.epoch)
+	s.updates.Add(1)
+	s.updEvicted.Add(uint64(ev))
+	s.dirtyCols.Add(uint64(dirty))
+	return st, nil
+}
+
+// editPoints applies a delta textually to a particle list (the pre-build
+// update path), with the same Remove validation ApplyDelta performs.
+func editPoints(pts []geom.Vec3, d delaunay.Delta) ([]geom.Vec3, *delaunay.DeltaStats, error) {
+	rm := make(map[int]bool, len(d.Remove))
+	for _, r := range d.Remove {
+		if r < 0 || r >= len(pts) {
+			return nil, nil, geomerr.Degenerate("fieldserve.Update", "removal index %d out of range [0,%d)", r, len(pts))
+		}
+		if rm[r] {
+			return nil, nil, geomerr.Degenerate("fieldserve.Update", "removal index %d listed twice", r)
+		}
+		rm[r] = true
+	}
+	for _, p := range d.Add {
+		if !p.IsFinite() {
+			return nil, nil, geomerr.Degenerate("fieldserve.Update", "added particle has non-finite coordinate %v", p)
+		}
+	}
+	out := make([]geom.Vec3, 0, len(pts)-len(rm)+len(d.Add))
+	for i, p := range pts {
+		if !rm[i] {
+			out = append(out, p)
+		}
+	}
+	out = append(out, d.Add...)
+	if len(out) == 0 {
+		return nil, nil, geomerr.Degenerate("fieldserve.Update", "delta empties the catalog")
+	}
+	return out, &delaunay.DeltaStats{
+		Inserted: len(d.Add),
+		Removed:  len(rm),
+		DirtyAll: true,
+	}, nil
+}
+
+// bumpEpochs tracks the highest epoch reached by any catalog.
+func (s *Service) bumpEpochs(e uint64) {
+	for {
+		old := s.epochs.Load()
+		if e <= old || s.epochs.CompareAndSwap(old, e) {
+			return
+		}
 	}
 }
 
@@ -504,6 +669,11 @@ func (s *Service) Stats() Stats {
 		ColPoisoned: cc.Poisoned,
 		ColCells:    cc.Cells,
 		ColEntries:  cc.Entries,
+
+		Updates:         s.updates.Load(),
+		DirtyColumns:    s.dirtyCols.Load(),
+		EvictedByUpdate: s.updEvicted.Load(),
+		Epochs:          s.epochs.Load(),
 
 		QueueLen: depth,
 		Active:   int(s.active.Load()),
